@@ -1,0 +1,99 @@
+//! Criterion benches of the dense BLAS kernels (real wall time): the
+//! building blocks every factorization engine calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &n in &[64usize, 256, 512] {
+        let a = rand_vec(n * n, 1);
+        let b = rand_vec(n * n, 2);
+        let mut out = vec![0.0; n * n];
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                rlchol_dense::gemm_nt(n, n, n, -1.0, &a, n, &b, n, 1.0, &mut out, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_ln");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &(n, k) in &[(256usize, 64usize), (512, 128)] {
+        let a = rand_vec(n * k, 3);
+        let mut out = vec![0.0; n * n];
+        g.throughput(Throughput::Elements((k * n * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}")),
+            &(n, k),
+            |bench, &(n, k)| {
+                bench.iter(|| {
+                    rlchol_dense::syrk_ln(n, k, -1.0, &a, n, 1.0, &mut out, n);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_potrf_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panel_factor");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &n in &[64usize, 256] {
+        // SPD via a dominant diagonal.
+        let base: Vec<f64> = {
+            let mut m = rand_vec(n * n, 4);
+            for i in 0..n {
+                m[i * n + i] = n as f64 + 2.0;
+            }
+            m
+        };
+        g.bench_with_input(BenchmarkId::new("potrf", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut a = base.clone();
+                rlchol_dense::potrf(n, &mut a, n).unwrap();
+                a
+            })
+        });
+        let l = {
+            let mut a = base.clone();
+            rlchol_dense::potrf(n, &mut a, n).unwrap();
+            a
+        };
+        let rhs = rand_vec(n * n, 5);
+        g.bench_with_input(BenchmarkId::new("trsm_rlt", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut b = rhs.clone();
+                rlchol_dense::trsm_rlt(n, n, &l, n, &mut b, n);
+                b
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk, bench_potrf_trsm);
+criterion_main!(benches);

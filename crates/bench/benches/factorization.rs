@@ -1,0 +1,49 @@
+//! Criterion benches of the numeric factorization engines (real wall
+//! time of the actual Rust execution, complementing the simulated-clock
+//! experiment binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlchol_core::engine::GpuOptions;
+use rlchol_core::gpu_rl::factor_rl_gpu;
+use rlchol_core::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
+use rlchol_core::rl::factor_rl_cpu;
+use rlchol_core::rlb::factor_rlb_cpu;
+use rlchol_core::simplicial::simplicial_cholesky;
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_ordering::{order, OrderingMethod};
+use rlchol_perfmodel::MachineModel;
+use rlchol_symbolic::{analyze, SymbolicOptions};
+use std::time::Duration;
+
+fn bench_factorization(c: &mut Criterion) {
+    let a0 = grid3d(10, 10, 10, Stencil::Star7, 1, 21);
+    let fill = order(&a0, OrderingMethod::NestedDissection);
+    let af = a0.permute(&fill);
+    let sym = analyze(&af, &SymbolicOptions::default());
+    let a = af.permute(&sym.perm);
+
+    let mut g = c.benchmark_group("factorization_10x10x10");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    g.bench_function("rl_cpu", |b| b.iter(|| factor_rl_cpu(&sym, &a).unwrap()));
+    g.bench_function("rlb_cpu", |b| b.iter(|| factor_rlb_cpu(&sym, &a).unwrap()));
+    g.bench_function("simplicial", |b| b.iter(|| simplicial_cholesky(&a).unwrap()));
+
+    let opts = GpuOptions {
+        machine: MachineModel::perlmutter(64).scale_compute(24.0),
+        threshold: 20_000,
+        overlap: true,
+    };
+    g.bench_function("rl_gpu_sim", |b| {
+        b.iter(|| factor_rl_gpu(&sym, &a, &opts).unwrap())
+    });
+    g.bench_function("rlb_gpu_v2_sim", |b| {
+        b.iter(|| factor_rlb_gpu(&sym, &a, &opts, RlbGpuVersion::V2).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **E-GPUONLY — §IV-B text**: the "GPU only" runs, where *every* BLAS
+//! call goes to the device (threshold = 0).
+//!
+//! Expected shape: because host-device transfer is slow, GPU-only is
+//! slower than the best CPU for most matrices; only the largest matrices
+//! show speedups (paper: RL reaches 3.11×, 3.69× and 4.15× on
+//! Long_Coup_dt0, Cube_Coup_dt0 and Queen_4147; RLB v1 2.97× and v2
+//! 2.66× on Queen_4147).
+
+use rlchol_bench::{cpu_baseline, gpu_options, prepare, run_gpu};
+use rlchol_core::engine::Method;
+use rlchol_matgen::paper_suite;
+use rlchol_matgen::suite::SuiteConfig;
+use rlchol_report::Table;
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let opts = gpu_options(&cfg, 0); // threshold 0: everything offloaded
+    println!("GPU-ONLY runs (all BLAS on device, threshold = 0): speedup vs best CPU\n");
+    let mut t = Table::new(vec![
+        "Matrices",
+        "RL_G",
+        "RLB_G v1",
+        "RLB_G v2",
+    ]);
+    let mut slower_count = 0usize;
+    let mut total = 0usize;
+    let mut highlights: Vec<(String, f64)> = Vec::new();
+    for entry in paper_suite() {
+        let p = prepare(&entry);
+        let (best_cpu, _, _) = cpu_baseline(&p);
+        let fmt = |m: Method| -> String {
+            match run_gpu(&p, m, &opts) {
+                Ok(run) => format!("{:.2}", best_cpu / run.sim_seconds),
+                Err(_) => "OOM".into(),
+            }
+        };
+        let rl = fmt(Method::RlGpu);
+        if let Ok(s) = rl.parse::<f64>() {
+            total += 1;
+            if s < 1.0 {
+                slower_count += 1;
+            }
+            highlights.push((entry.name.to_string(), s));
+        }
+        t.row(vec![
+            entry.name.to_string(),
+            rl,
+            fmt(Method::RlbGpuV1),
+            fmt(Method::RlbGpuV2),
+        ]);
+        eprintln!("done {}", entry.name);
+    }
+    println!("{}", t.render());
+    println!(
+        "RL GPU-only slower than best CPU on {slower_count}/{total} matrices \
+         (paper: \"runtimes were more than CPU-only runtimes for most of the matrices\")"
+    );
+    highlights.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("best three RL GPU-only speedups (paper: 4.15 Queen_4147, 3.69 Cube_Coup_dt0, 3.11 Long_Coup_dt0):");
+    for (name, s) in highlights.iter().take(3) {
+        println!("  {name}: {s:.2}x");
+    }
+}

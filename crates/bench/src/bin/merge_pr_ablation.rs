@@ -1,0 +1,75 @@
+//! **E-SETUP — §IV-A**: ablation of the two symbolic-setup improvements
+//! the paper applies before factorization:
+//!
+//! * **supernode merging** (Ashcraft–Grimes amalgamation, stopped at a
+//!   25 % storage-growth cap) — coarsens the partition so BLAS calls are
+//!   larger;
+//! * **partition refinement** (Jacquelin–Ng–Peyton column reordering
+//!   within supernodes) — reduces the number of row blocks, "essential to
+//!   attain high performance using RLB".
+//!
+//! For each configuration this prints the supernode count, factor
+//! storage, total row blocks, RLB BLAS-call count, and the simulated
+//! best-CPU and GPU-RLB times.
+
+use rlchol_bench::{best_cpu_scaled, gpu_options, prepare_with, run_gpu};
+use rlchol_core::engine::Method;
+use rlchol_core::rlb::factor_rlb_cpu;
+use rlchol_matgen::paper_suite;
+use rlchol_matgen::suite::SuiteConfig;
+use rlchol_report::Table;
+use rlchol_symbolic::blocks::total_blocks;
+use rlchol_symbolic::SymbolicOptions;
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let picks = ["CurlCurl_2", "Serena", "Queen_4147"];
+    println!("Setup ablation: supernode merging (25% cap) x partition refinement\n");
+    for name in picks {
+        let entry = paper_suite().into_iter().find(|e| e.name == name).unwrap();
+        println!("== {name} ==");
+        let mut t = Table::new(vec![
+            "config",
+            "nsup",
+            "nnz(L)",
+            "blocks",
+            "RLB calls",
+            "bestCPU (s)",
+            "RLB_G (s)",
+        ]);
+        for (merge, pr) in [(false, false), (false, true), (true, false), (true, true)] {
+            let opts = SymbolicOptions {
+                merge,
+                partition_refine: pr,
+                merge_growth_cap: 0.25,
+                ..SymbolicOptions::default()
+            };
+            let p = prepare_with(&entry, &opts);
+            let blocks = total_blocks(&p.sym.rows, &p.sym.sn);
+            let rlb = factor_rlb_cpu(&p.sym, &p.a_fact).expect("SPD");
+            let best_cpu = best_cpu_scaled(&rlb, &cfg);
+            let gpu = run_gpu(&p, Method::RlbGpuV2, &gpu_options(&cfg, cfg.rlb_threshold))
+                .map(|r| format!("{:.4}", r.sim_seconds))
+                .unwrap_or_else(|_| "OOM".into());
+            t.row(vec![
+                format!(
+                    "merge={} PR={}",
+                    if merge { "on " } else { "off" },
+                    if pr { "on " } else { "off" }
+                ),
+                format!("{}", p.sym.nsup()),
+                format!("{}", p.sym.nnz),
+                format!("{blocks}"),
+                format!("{}", rlb.trace.blas_calls()),
+                format!("{best_cpu:.4}"),
+                gpu,
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "expected shape (paper §IV-A): merging cuts the supernode count by an order\n\
+         of magnitude at <=25% extra storage; PR cuts the number of blocks and hence\n\
+         RLB's BLAS-call count — the reordering 'essential' for RLB performance."
+    );
+}

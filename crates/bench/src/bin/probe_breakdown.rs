@@ -1,0 +1,42 @@
+//! Calibration probe: where simulated time goes in the GPU-RL runs.
+
+use rlchol_bench::{cpu_baseline, gpu_options, prepare, run_gpu};
+use rlchol_core::engine::Method;
+use rlchol_matgen::paper_suite;
+use rlchol_matgen::suite::SuiteConfig;
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    for name in ["CurlCurl_2", "Serena", "Queen_4147"] {
+        let entry = paper_suite().into_iter().find(|e| e.name == name).unwrap();
+        let p = prepare(&entry);
+        let (best, rl, rlb) = cpu_baseline(&p);
+        let run = run_gpu(&p, Method::RlGpu, &gpu_options(&cfg, cfg.rl_threshold)).unwrap();
+        println!(
+            "{name}: gpu total {:.4}s | kernels {:.4} transfers {:.4} host {:.4} | bestCPU {:.4}",
+            run.sim_seconds,
+            run.stats.kernel_seconds,
+            run.stats.transfer_seconds,
+            run.stats.host_seconds,
+            best
+        );
+        // CPU trace composition for reference.
+        let stats = |r: &rlchol_core::engine::CpuRun, label: &str| {
+            use rlchol_perfmodel::TraceOp;
+            let mut blas = 0.0;
+            let mut asm = 0.0;
+            let model = rlchol_perfmodel::perlmutter_cpu(64).scale_compute(cfg.machine_scale);
+            for op in &r.trace.ops {
+                let t = model.op_time(op);
+                if matches!(op, TraceOp::Assemble { .. }) {
+                    asm += t;
+                } else {
+                    blas += t;
+                }
+            }
+            println!("  {label}@64t: blas {blas:.4} assembly {asm:.4}");
+        };
+        stats(&rl, "RL_C ");
+        stats(&rlb, "RLB_C");
+    }
+}

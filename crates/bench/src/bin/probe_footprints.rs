@@ -1,0 +1,40 @@
+//! Calibration probe: per-engine device footprints of selected matrices
+//! (used to pick the scaled device capacity; not a paper artifact).
+
+use rlchol_bench::prepare;
+use rlchol_matgen::paper_suite;
+
+fn main() {
+    for entry in paper_suite() {
+        if !["nlpkkt120", "Bump_2911", "Queen_4147", "CurlCurl_4"].contains(&entry.name) {
+            continue;
+        }
+        let p = prepare(&entry);
+        let sym = &p.sym;
+        let max_panel = (0..sym.nsup()).map(|s| sym.sn_storage(s)).max().unwrap();
+        let max_upd = sym.max_update_matrix_entries();
+        // v1 staging and v2 max strip.
+        let mut max_stage = 0usize;
+        let mut max_strip = 0usize;
+        for s in 0..sym.nsup() {
+            let blocks = &sym.blocks[s];
+            let mut stage = 0usize;
+            for (b1, blk) in blocks.iter().enumerate() {
+                for blk2 in &blocks[b1..] {
+                    stage += blk2.len * blk.len;
+                    max_strip = max_strip.max(blk2.len * blk.len);
+                }
+            }
+            max_stage = max_stage.max(stage);
+        }
+        let mb = |x: usize| x as f64 * 8.0 / (1 << 20) as f64;
+        println!(
+            "{:18} panel {:6.1} MiB | RL {:6.1} | RLBv1 {:6.1} | RLBv2 {:6.1} MiB",
+            entry.name,
+            mb(max_panel),
+            mb(max_panel + max_upd),
+            mb(max_panel + max_stage),
+            mb(max_panel + max_strip),
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! **E-RLBV — §IV-B text**: GPU-RLB v1 (one batched update transfer per
+//! supernode) versus v2 (per-block streaming transfers).
+//!
+//! Paper finding: "On larger matrices, RLB with a single update matrix is
+//! up to 9 percent better than RLB with multiple update matrices, whereas
+//! on smaller matrices RLB with multiple update matrices is up to 3
+//! percent better" — i.e. transfer *latency* is negligible, *bandwidth*
+//! matters, so batching the same bytes into one transfer hardly changes
+//! anything.
+
+use rlchol_bench::{gpu_options, prepare, run_gpu};
+use rlchol_core::engine::Method;
+use rlchol_matgen::paper_suite;
+use rlchol_matgen::suite::SuiteConfig;
+use rlchol_report::Table;
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let opts = gpu_options(&cfg, cfg.rlb_threshold);
+    println!("RLB GPU variants: v1 (batched transfer) vs v2 (per-block transfers)\n");
+    let mut t = Table::new(vec![
+        "Matrices",
+        "v1 (s)",
+        "v2 (s)",
+        "v1/v2",
+        "v1 D2H ops",
+        "v2 D2H ops",
+    ]);
+    let mut best_v1_gain = (String::new(), 0.0f64);
+    let mut best_v2_gain = (String::new(), 0.0f64);
+    let mut flops: Vec<(String, f64, f64, f64)> = Vec::new();
+    for entry in paper_suite() {
+        let p = prepare(&entry);
+        let v1 = match run_gpu(&p, Method::RlbGpuV1, &opts) {
+            Ok(r) => r,
+            Err(_) => {
+                t.row(vec![entry.name.to_string(), "OOM".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+                eprintln!("done {} (v1 OOM)", entry.name);
+                continue;
+            }
+        };
+        let v2 = run_gpu(&p, Method::RlbGpuV2, &opts).expect("v2 streams through memory limits");
+        let ratio = v1.sim_seconds / v2.sim_seconds;
+        // v1 faster → ratio < 1 → v1 gain = 1 - ratio.
+        let v1_gain = (1.0 - ratio) * 100.0;
+        let v2_gain = (ratio - 1.0) * 100.0;
+        if v1_gain > best_v1_gain.1 {
+            best_v1_gain = (entry.name.to_string(), v1_gain);
+        }
+        if v2_gain > best_v2_gain.1 {
+            best_v2_gain = (entry.name.to_string(), v2_gain);
+        }
+        flops.push((entry.name.to_string(), p.sym.flops, v1.sim_seconds, v2.sim_seconds));
+        t.row(vec![
+            entry.name.to_string(),
+            format!("{:.4}", v1.sim_seconds),
+            format!("{:.4}", v2.sim_seconds),
+            format!("{ratio:.3}"),
+            format!("{}", v1.stats.d2h_count),
+            format!("{}", v2.stats.d2h_count),
+        ]);
+        eprintln!("done {}", entry.name);
+    }
+    println!("{}", t.render());
+    println!(
+        "largest v1 advantage: {:.1}% on {} (paper: up to ~9% on larger matrices)",
+        best_v1_gain.1, best_v1_gain.0
+    );
+    println!(
+        "largest v2 advantage: {:.1}% on {} (paper: up to ~3% on smaller matrices)",
+        best_v2_gain.1, best_v2_gain.0
+    );
+    println!(
+        "interpretation (paper §IV-B): transferring the same bytes in one vs many \
+         operations barely matters — PCIe latency is negligible, bandwidth rules."
+    );
+}

@@ -1,0 +1,109 @@
+//! **E-T1 — Table I**: runtimes of GPU-accelerated RL with speedups over
+//! the best CPU configuration, and the number of supernodes computed on
+//! the GPU.
+//!
+//! Baseline, as in the paper (§IV-B): for each matrix, the best of
+//! {RL, RLB} × {8, 16, 32, 64, 128} MKL threads. The nlpkkt120 analogue
+//! must fail with a device out-of-memory (its RL update matrix exceeds
+//! the scaled device capacity), reproducing the blank row of Table I.
+
+use rlchol_bench::{cpu_baseline, gpu_options, prepare, run_gpu};
+use rlchol_core::engine::Method;
+use rlchol_core::FactorError;
+use rlchol_matgen::paper_suite;
+use rlchol_matgen::suite::SuiteConfig;
+use rlchol_report::Table;
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let opts = gpu_options(&cfg, cfg.rl_threshold);
+    println!(
+        "TABLE I: Runtimes for GPU accelerated RL together with the speedups"
+    );
+    println!(
+        "and numbers of supernodes computed on GPU (threshold {} = paper's 600,000 scaled)\n",
+        cfg.rl_threshold
+    );
+    let mut t = Table::new(vec![
+        "Matrices",
+        "runtime (s)",
+        "speedup",
+        "on GPU",
+        "total",
+        "paper (s)",
+        "paper spd",
+        "paper GPU",
+        "paper total",
+    ]);
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut oom_names: Vec<&str> = Vec::new();
+    for entry in paper_suite() {
+        let p = prepare(&entry);
+        let (best_cpu, _, _) = cpu_baseline(&p);
+        let (paper_rt, paper_spd, paper_gpu) = entry
+            .paper
+            .rl
+            .map(|(a, b, c)| (format!("{a:.3}"), format!("{b:.2}"), format!("{c}")))
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        match run_gpu(&p, Method::RlGpu, &opts) {
+            Ok(run) => {
+                let speedup = best_cpu / run.sim_seconds;
+                speedups.push((entry.name.to_string(), speedup));
+                t.row(vec![
+                    entry.name.to_string(),
+                    format!("{:.3}", run.sim_seconds),
+                    format!("{speedup:.2}"),
+                    format!("{}", run.sn_on_gpu),
+                    format!("{}", p.sym.nsup()),
+                    paper_rt,
+                    paper_spd,
+                    paper_gpu,
+                    format!("{}", entry.paper.total_supernodes),
+                ]);
+            }
+            Err(FactorError::GpuOutOfMemory {
+                requested_bytes,
+                capacity_bytes,
+            }) => {
+                oom_names.push(entry.name);
+                t.row(vec![
+                    entry.name.to_string(),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{}", p.sym.nsup()),
+                    paper_rt,
+                    paper_spd,
+                    paper_gpu,
+                    format!("{}", entry.paper.total_supernodes),
+                ]);
+                eprintln!(
+                    "{}: device OOM as expected? need {} B > capacity {} B",
+                    entry.name, requested_bytes, capacity_bytes
+                );
+            }
+            Err(e) => panic!("{}: unexpected failure {e}", entry.name),
+        }
+        eprintln!("done {}", entry.name);
+    }
+    println!("{}", t.render());
+    if let (Some(min), Some(max)) = (
+        speedups
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .cloned(),
+        speedups
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .cloned(),
+    ) {
+        println!(
+            "min speedup {:.2} on {} (paper: 1.31 on Flan_1565); max {:.2} on {} (paper: 4.47 on Bump_2911)",
+            min.1, min.0, max.1, max.0
+        );
+    }
+    println!(
+        "matrices failing with device OOM: {:?} (paper: nlpkkt120 — largest update matrix too big for the GPU)",
+        oom_names
+    );
+}

@@ -1,0 +1,212 @@
+//! Shared engine types and helpers.
+
+use std::time::Duration;
+
+use rlchol_dense::{potrf, trsm_rlt};
+use rlchol_gpu::GpuStats;
+use rlchol_perfmodel::{replay_cpu, MachineModel, Trace, PAPER_THREAD_SWEEP};
+
+use crate::storage::FactorData;
+
+/// The factorization engines of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Right-looking, CPU only (`RL_C` in Figure 3).
+    RlCpu,
+    /// Right-looking blocked, CPU only (`RLB_C`).
+    RlbCpu,
+    /// Left-looking supernodal, CPU only (classic baseline).
+    LlCpu,
+    /// Multifrontal, CPU only (classic baseline).
+    MfCpu,
+    /// GPU-accelerated RL (`RL_G`).
+    RlGpu,
+    /// GPU-accelerated RLB, batched update transfer (first version, §III).
+    RlbGpuV1,
+    /// GPU-accelerated RLB, per-block transfers (second version, §III).
+    RlbGpuV2,
+}
+
+impl Method {
+    /// Short display name matching the paper's Figure 3 labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::RlCpu => "RL_C",
+            Method::RlbCpu => "RLB_C",
+            Method::LlCpu => "LL_C",
+            Method::MfCpu => "MF_C",
+            Method::RlGpu => "RL_G",
+            Method::RlbGpuV1 => "RLB_G(v1)",
+            Method::RlbGpuV2 => "RLB_G",
+        }
+    }
+}
+
+/// Result of a CPU-only factorization.
+#[derive(Debug)]
+pub struct CpuRun {
+    /// The numeric factor.
+    pub factor: FactorData,
+    /// Operation trace (replayable under any thread count).
+    pub trace: Trace,
+    /// Real wall-clock duration of this process's execution.
+    pub wall: Duration,
+}
+
+impl CpuRun {
+    /// Simulated time under the paper's platform at `threads` MKL threads.
+    pub fn sim_seconds(&self, threads: usize) -> f64 {
+        replay_cpu(&self.trace, &rlchol_perfmodel::perlmutter_cpu(threads))
+    }
+
+    /// Best simulated time over the paper's thread sweep; returns
+    /// `(seconds, threads)`.
+    pub fn best_sim_seconds(&self) -> (f64, usize) {
+        PAPER_THREAD_SWEEP
+            .iter()
+            .map(|&t| (self.sim_seconds(t), t))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("sweep nonempty")
+    }
+}
+
+/// The paper's baseline: best CPU time over both CPU methods and the
+/// thread sweep {8, 16, 32, 64, 128}. Returns `(seconds, method, threads)`.
+pub fn best_cpu_time(rl: &CpuRun, rlb: &CpuRun) -> (f64, Method, usize) {
+    let (t_rl, th_rl) = rl.best_sim_seconds();
+    let (t_rlb, th_rlb) = rlb.best_sim_seconds();
+    if t_rl <= t_rlb {
+        (t_rl, Method::RlCpu, th_rl)
+    } else {
+        (t_rlb, Method::RlbCpu, th_rlb)
+    }
+}
+
+/// Options for the GPU-accelerated engines.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuOptions {
+    /// Machine model (CPU side + device).
+    pub machine: MachineModel,
+    /// Supernode-size threshold (columns × length): supernodes strictly
+    /// below stay on the CPU (paper: 600 000 for RL, 750 000 for RLB at
+    /// full scale). `0` reproduces the "GPU only" runs of §IV-B.
+    pub threshold: usize,
+    /// Allow the asynchronous copy-back to overlap host work (on by
+    /// default; off is the ablation in E-THRESH/DESIGN §4).
+    pub overlap: bool,
+}
+
+impl GpuOptions {
+    /// GPU engine options with the given threshold on the paper platform.
+    pub fn with_threshold(threshold: usize) -> Self {
+        GpuOptions {
+            machine: MachineModel::perlmutter(16),
+            threshold,
+            overlap: true,
+        }
+    }
+}
+
+/// Result of a GPU-accelerated factorization.
+#[derive(Debug)]
+pub struct GpuRun {
+    /// The numeric factor (identical structure to the CPU engines').
+    pub factor: FactorData,
+    /// Simulated end-to-end seconds (host + device timelines).
+    pub sim_seconds: f64,
+    /// Device counters (kernels, transfers, memory high-water mark).
+    pub stats: GpuStats,
+    /// Supernodes whose BLAS ran on the device.
+    pub sn_on_gpu: usize,
+    /// Real wall-clock duration of this process's execution.
+    pub wall: Duration,
+}
+
+/// Factors a supernode panel in place: POTRF on the `c × c` diagonal
+/// block, then the panel TRSM (`B := B · L^{-T}`) on the `r` rows below.
+/// Returns the failing local pivot on a nonpositive diagonal.
+///
+/// The two BLAS operands interleave by columns in supernodal storage, so
+/// the triangle is copied out for the TRSM — the same approach the
+/// blocked dense POTRF uses.
+pub fn factor_panel(arr: &mut [f64], len: usize, c: usize, r: usize) -> Result<(), usize> {
+    potrf(c, arr, len).map_err(|e| e.pivot)?;
+    if r > 0 {
+        let mut l11 = vec![0.0f64; c * c];
+        for j in 0..c {
+            for i in j..c {
+                l11[j * c + i] = arr[j * len + i];
+            }
+        }
+        trsm_rlt(r, c, &l11, c, &mut arr[c..], len);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlchol_perfmodel::TraceOp;
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(Method::RlCpu.label(), "RL_C");
+        assert_eq!(Method::RlbGpuV2.label(), "RLB_G");
+    }
+
+    #[test]
+    fn factor_panel_matches_full_potrf() {
+        // A (len x c) panel whose full (len x len) completion is SPD.
+        let (c, len) = (3usize, 7usize);
+        let mut m = rlchol_dense::DMat::from_fn(len, len, |i, j| {
+            if i == j {
+                12.0
+            } else {
+                -1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let mut panel: Vec<f64> = (0..c)
+            .flat_map(|j| (0..len).map(move |i| (i, j)))
+            .map(|(i, j)| m[(i, j)])
+            .collect();
+        factor_panel(&mut panel, len, c, len - c).unwrap();
+        rlchol_dense::potrf(len, m.as_mut_slice(), len).unwrap();
+        for j in 0..c {
+            for i in j..len {
+                assert!(
+                    (panel[j * len + i] - m[(i, j)]).abs() < 1e-12,
+                    "panel ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factor_panel_reports_pivot() {
+        let mut bad = vec![0.0; 6]; // 3x2 panel, zero diagonal
+        assert_eq!(factor_panel(&mut bad, 3, 2, 1), Err(0));
+    }
+
+    #[test]
+    fn best_cpu_picks_minimum() {
+        let mk = |flops_scale: usize| {
+            let mut trace = Trace::new();
+            trace.push(TraceOp::Gemm {
+                m: 100 * flops_scale,
+                n: 100,
+                k: 100,
+            });
+            CpuRun {
+                factor: FactorData { sn: vec![] },
+                trace,
+                wall: Duration::ZERO,
+            }
+        };
+        let cheap = mk(1);
+        let pricey = mk(50);
+        let (t, m, th) = best_cpu_time(&cheap, &pricey);
+        assert_eq!(m, Method::RlCpu);
+        assert!(t > 0.0);
+        assert!(PAPER_THREAD_SWEEP.contains(&th));
+    }
+}

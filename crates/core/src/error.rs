@@ -1,0 +1,59 @@
+//! Errors of the numeric factorization engines.
+
+use rlchol_gpu::GpuError;
+use std::fmt;
+
+/// Failure modes of a numeric factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// A diagonal pivot was not strictly positive (matrix not SPD).
+    NotPositiveDefinite { column: usize },
+    /// The device could not satisfy the engine's memory demand — the
+    /// paper's Table I failure mode for nlpkkt120 under RL.
+    GpuOutOfMemory {
+        requested_bytes: u64,
+        capacity_bytes: u64,
+    },
+    /// Any other device-side failure.
+    Gpu(String),
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite at column {column}")
+            }
+            FactorError::GpuOutOfMemory {
+                requested_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "GPU out of memory: need {requested_bytes} B, capacity {capacity_bytes} B"
+            ),
+            FactorError::Gpu(msg) => write!(f, "GPU failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+impl From<GpuError> for FactorError {
+    fn from(e: GpuError) -> Self {
+        match e {
+            GpuError::OutOfMemory {
+                requested_bytes,
+                capacity_bytes,
+                ..
+            } => FactorError::GpuOutOfMemory {
+                requested_bytes,
+                capacity_bytes,
+            },
+            GpuError::Numerical(msg) => {
+                // Device POTRF failures carry the pivot message.
+                FactorError::Gpu(msg)
+            }
+            other => FactorError::Gpu(other.to_string()),
+        }
+    }
+}

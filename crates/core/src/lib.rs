@@ -1,0 +1,54 @@
+//! # rlchol-core — right-looking supernodal sparse Cholesky
+//!
+//! The paper's contribution: serial right-looking supernodal Cholesky
+//! factorization in two variants, each with CPU-only and GPU-accelerated
+//! engines (the GPU being the simulated runtime of `rlchol-gpu`):
+//!
+//! * **RL** (§II-A) — after factoring the current supernode (DPOTRF +
+//!   DTRSM), its entire update matrix is formed with **one DSYRK** into a
+//!   preallocated workspace and scattered into ancestor supernodes using
+//!   relative indices.
+//! * **RLB** (§II-B) — the update is decomposed into per-row-block DSYRK
+//!   and DGEMM calls that (on CPU) write **directly into factor storage**,
+//!   needing no update workspace and only one generalized relative index
+//!   per block.
+//! * **GPU-RL** (§III) — the supernode is copied to the device, factored
+//!   there, copied back asynchronously while the device runs the coarse
+//!   DSYRK, and the update matrix is returned for (parallelizable) host
+//!   assembly.
+//! * **GPU-RLB v1/v2** (§III) — per-block updates on the device; v1
+//!   batches all of a supernode's block updates into one device→host
+//!   transfer, v2 returns each block as soon as it is computed (lower
+//!   device memory footprint — the variant that can factor `nlpkkt120`).
+//! * **Hybrid dispatch** (§III) — supernodes whose size (columns ×
+//!   length) falls below a threshold stay on the CPU, because the
+//!   transfer cost dwarfs their compute.
+//!
+//! Two classic CPU baselines are included for context (they are the
+//! "other methods" the companion reference compares RL/RLB against):
+//! [`ll`] — left-looking supernodal — and [`multifrontal`] — the
+//! stack-based multifrontal method with its distinctive working-storage
+//! profile.
+//!
+//! The [`solver::CholeskySolver`] ties ordering, symbolic analysis,
+//! numeric factorization and triangular solves into the end-to-end
+//! pipeline a user would call.
+
+pub mod assemble;
+pub mod engine;
+pub mod error;
+pub mod gpu_rl;
+pub mod gpu_rlb;
+pub mod ll;
+pub mod multifrontal;
+pub mod rl;
+pub mod rlb;
+pub mod simplicial;
+pub mod solve;
+pub mod solver;
+pub mod storage;
+
+pub use engine::{best_cpu_time, CpuRun, GpuOptions, GpuRun, Method};
+pub use error::FactorError;
+pub use solver::{CholeskySolver, SolverOptions};
+pub use storage::FactorData;

@@ -1,0 +1,212 @@
+//! Left-looking supernodal Cholesky — the classic alternative the
+//! right-looking methods of the paper's companion reference are measured
+//! against (Ng–Peyton-style, as in CHOLMOD's supernodal module).
+//!
+//! Where RL pushes a supernode's updates *rightward* as soon as it is
+//! factored, the left-looking method factors supernode `J` by first
+//! *pulling* every pending update from descendants whose row structure
+//! intersects `cols(J)`:
+//!
+//! 1. for each updating descendant `D`, one DGEMM forms
+//!    `W = L[rows≥J, cols(D)] · L[rows∩J, cols(D)]ᵀ` into a workspace;
+//! 2. `W` is scattered into `J`'s columns (relative indices);
+//! 3. `J` is then factored (DPOTRF + DTRSM) and registered with the next
+//!    supernode its rows touch.
+//!
+//! Pending updaters are tracked with the standard per-target lists: after
+//! a supernode is consumed at one target it advances to its next row
+//! segment, so each (descendant, ancestor) pair is visited exactly once.
+
+use std::time::Instant;
+
+use rlchol_dense::gemm_nt;
+use rlchol_perfmodel::{Trace, TraceOp};
+use rlchol_sparse::SymCsc;
+use rlchol_symbolic::relind::relative_indices;
+use rlchol_symbolic::SymbolicFactor;
+
+use crate::engine::{factor_panel, CpuRun};
+use crate::error::FactorError;
+use crate::storage::FactorData;
+
+/// Factors `a` (permuted into factor order) with the left-looking
+/// supernodal method.
+pub fn factor_ll_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorError> {
+    let t0 = Instant::now();
+    let mut data = FactorData::load(sym, a);
+    let mut trace = Trace::new();
+    let nsup = sym.nsup();
+    // pending[j]: descendants whose next unconsumed row segment starts in
+    // supernode j, as (descendant, segment start offset into its rows).
+    let mut pending: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nsup];
+    // Workspace sized for the largest (rows x segment) update block.
+    let max_w = (0..nsup)
+        .map(|s| {
+            let r = sym.rows[s].len();
+            r * sym
+                .blocks[s]
+                .iter()
+                .map(|b| b.len)
+                .max()
+                .unwrap_or(0)
+                .min(r)
+        })
+        .max()
+        .unwrap_or(0);
+    let mut w = vec![0.0f64; max_w.max(1)];
+
+    for j in 0..nsup {
+        let first_j = sym.sn.first_col(j);
+        let end_j = sym.sn.end_col(j);
+        let len_j = sym.sn_len(j);
+        let cj = end_j - first_j;
+
+        // Pull pending updates aimed at this supernode.
+        let updaters = std::mem::take(&mut pending[j]);
+        for (d, lo) in updaters {
+            let rows_d = &sym.rows[d];
+            let hi = rows_d.partition_point(|&r| r < end_j);
+            debug_assert!(lo < hi, "updater with empty segment");
+            let cd = sym.sn_ncols(d);
+            let len_d = sym.sn_len(d);
+            let m = rows_d.len() - lo; // rows at/below the segment
+            let nseg = hi - lo;
+            // W = L[lo.., :] · L[lo..hi, :]ᵀ over D's columns.
+            {
+                let (head, tail) = data.sn.split_at_mut(j);
+                let src = &head[d];
+                let a_block = &src[cd + lo..];
+                let b_block = &src[cd + lo..];
+                gemm_nt(
+                    m, nseg, cd, 1.0, a_block, len_d, b_block, len_d, 0.0, &mut w[..m * nseg],
+                    m,
+                );
+                trace.push(TraceOp::Gemm { m, n: nseg, k: cd });
+                // Scatter -W into J's storage.
+                let dst = &mut tail[0];
+                let rel = relative_indices(&rows_d[lo..], first_j, cj, &sym.rows[j]);
+                let mut entries = 0usize;
+                for (q, wcol) in w[..m * nseg].chunks_exact(m).enumerate() {
+                    let tcol = rows_d[lo + q] - first_j;
+                    let col = &mut dst[tcol * len_j..(tcol + 1) * len_j];
+                    // Row q of the segment corresponds to W row index q;
+                    // only rows at/below the diagonal of the target column
+                    // matter (W is the full rectangle, its upper strip
+                    // duplicates symmetric entries).
+                    for (i, &v) in wcol.iter().enumerate().skip(q) {
+                        col[rel[i]] -= v;
+                    }
+                    entries += m - q;
+                }
+                trace.push(TraceOp::Assemble { entries });
+            }
+            // Advance D to its next target segment.
+            if hi < rows_d.len() {
+                let next = sym.sn.col_to_sn[rows_d[hi]];
+                pending[next].push((d, hi));
+            }
+        }
+
+        // Factor the (now fully updated) supernode.
+        let r = sym.sn_nrows_below(j);
+        {
+            let arr = &mut data.sn[j];
+            factor_panel(arr, len_j, cj, r).map_err(|pivot| {
+                FactorError::NotPositiveDefinite {
+                    column: first_j + pivot,
+                }
+            })?;
+        }
+        trace.push(TraceOp::Potrf { n: cj });
+        if r > 0 {
+            trace.push(TraceOp::Trsm { m: r, n: cj });
+            let target = sym.sn.col_to_sn[sym.rows[j][0]];
+            pending[target].push((j, 0));
+        }
+    }
+    Ok(CpuRun {
+        factor: data,
+        trace,
+        wall: t0.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rl::factor_rl_cpu;
+    use rlchol_matgen::{grid3d, laplace2d, Stencil};
+    use rlchol_symbolic::{analyze, SymbolicOptions};
+
+    fn setup(a: &SymCsc) -> (SymbolicFactor, SymCsc) {
+        let sym = analyze(a, &SymbolicOptions::default());
+        let ap = a.permute(&sym.perm);
+        (sym, ap)
+    }
+
+    #[test]
+    fn matches_right_looking_factor() {
+        for a in [
+            laplace2d(9, 3),
+            grid3d(5, 5, 5, Stencil::Star7, 1, 4),
+            grid3d(4, 4, 4, Stencil::Star7, 3, 5),
+        ] {
+            let (sym, ap) = setup(&a);
+            let rl = factor_rl_cpu(&sym, &ap).unwrap();
+            let ll = factor_ll_cpu(&sym, &ap).unwrap();
+            let d = rl.factor.max_rel_diff(&ll.factor);
+            assert!(d < 1e-11, "LL differs from RL by {d}");
+        }
+    }
+
+    #[test]
+    fn residual_is_tiny() {
+        let a = laplace2d(10, 7);
+        let (sym, ap) = setup(&a);
+        let run = factor_ll_cpu(&sym, &ap).unwrap();
+        assert!(run.factor.residual(&sym, &ap, 3) < 1e-12);
+    }
+
+    #[test]
+    fn visits_each_descendant_ancestor_pair_once() {
+        // Number of GEMM records equals the number of (supernode, target
+        // segment) pairs = total row blocks merged by target.
+        let a = laplace2d(8, 9);
+        let (sym, ap) = setup(&a);
+        let run = factor_ll_cpu(&sym, &ap).unwrap();
+        let gemms = run
+            .trace
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Gemm { .. }))
+            .count();
+        // Count distinct target supernodes per source.
+        let mut pairs = 0usize;
+        for s in 0..sym.nsup() {
+            let mut prev = usize::MAX;
+            for &r in &sym.rows[s] {
+                let t = sym.sn.col_to_sn[r];
+                if t != prev {
+                    pairs += 1;
+                    prev = t;
+                }
+            }
+        }
+        assert_eq!(gemms, pairs);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut t = rlchol_sparse::TripletMatrix::new(3, 3);
+        for j in 0..3 {
+            t.push(j, j, 1.0);
+        }
+        t.push(2, 0, 4.0);
+        let a = SymCsc::from_lower_triplets(&t).unwrap();
+        let (sym, ap) = setup(&a);
+        assert!(matches!(
+            factor_ll_cpu(&sym, &ap),
+            Err(FactorError::NotPositiveDefinite { .. })
+        ));
+    }
+}

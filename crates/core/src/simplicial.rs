@@ -1,0 +1,154 @@
+//! Simplicial (non-supernodal) left-looking Cholesky — the correctness
+//! baseline the supernodal engines are validated against.
+//!
+//! Classic sparse column algorithm: column `j` starts from `A[:, j]`,
+//! subtracts `L[j,k] · L[:,k]` for every earlier column `k` with
+//! `L[j,k] ≠ 0` (tracked with per-row lists), scales by the pivot square
+//! root, and records its structure on the fly. No supernodes, no BLAS —
+//! a completely independent code path.
+
+use rlchol_sparse::{CscMatrix, SymCsc};
+
+use crate::error::FactorError;
+
+/// Computes the sparse Cholesky factor `L` (lower, diagonal included) of
+/// `a` in its *given* ordering.
+pub fn simplicial_cholesky(a: &SymCsc) -> Result<CscMatrix, FactorError> {
+    let n = a.n();
+    let mut colptr = vec![0usize; n + 1];
+    let mut rowind: Vec<usize> = Vec::with_capacity(a.nnz_lower() * 2);
+    let mut values: Vec<f64> = Vec::with_capacity(a.nnz_lower() * 2);
+    // row_lists[i]: finished columns k with L[i,k] != 0 — each entry is
+    // (k, position of row i inside column k's storage).
+    let mut row_lists: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    // Dense accumulator + touched set.
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut in_touched = vec![false; n];
+
+    for j in 0..n {
+        // Start from A's column (lower part).
+        for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+            acc[i] = v;
+            if !in_touched[i] {
+                in_touched[i] = true;
+                touched.push(i);
+            }
+        }
+        // Subtract contributions of earlier columns hitting row j.
+        for &(k, pos_in_k) in &row_lists[j] {
+            let ljk = values[pos_in_k];
+            // Walk column k from row j downward (entries are appended in
+            // increasing row order, so the tail from pos_in_k is >= j).
+            for idx in pos_in_k..colptr[k + 1] {
+                let i = rowind[idx];
+                let v = ljk * values[idx];
+                if !in_touched[i] {
+                    in_touched[i] = true;
+                    touched.push(i);
+                    acc[i] = 0.0;
+                }
+                acc[i] -= v;
+            }
+        }
+        // Pivot.
+        let d = acc[j];
+        if d <= 0.0 || !d.is_finite() {
+            return Err(FactorError::NotPositiveDefinite { column: j });
+        }
+        let piv = d.sqrt();
+        // Emit column j sorted by row.
+        touched.sort_unstable();
+        let col_start = values.len();
+        for &i in &touched {
+            debug_assert!(i >= j, "structure below the diagonal only");
+            let v = if i == j { piv } else { acc[i] / piv };
+            if i == j || v != 0.0 {
+                rowind.push(i);
+                values.push(v);
+            }
+            in_touched[i] = false;
+            acc[i] = 0.0;
+        }
+        touched.clear();
+        colptr[j + 1] = values.len();
+        // Register this column in the row lists of its off-diagonal rows.
+        for idx in col_start + 1..values.len() {
+            let i = rowind[idx];
+            row_lists[i].push((j, idx));
+        }
+    }
+    Ok(CscMatrix::from_parts(n, n, colptr, rowind, values)
+        .expect("emitted columns are sorted and in range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlchol_matgen::laplace2d;
+    use rlchol_sparse::TripletMatrix;
+
+    #[test]
+    fn matches_dense_cholesky() {
+        let a = laplace2d(5, 9);
+        let l = simplicial_cholesky(&a).unwrap();
+        // Dense reference.
+        let n = a.n();
+        let mut dense = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                dense[j * n + i] = a.get(i, j);
+            }
+        }
+        rlchol_dense::potrf(n, &mut dense, n).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                let got = l.get(i, j);
+                let want = dense[j * n + i];
+                assert!(
+                    (got - want).abs() < 1e-10,
+                    "({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = laplace2d(7, 4);
+        let l = simplicial_cholesky(&a).unwrap();
+        // ‖A - L Lᵀ‖ via matvec probing.
+        let n = a.n();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        let lt = l.transpose();
+        let mut ltx = vec![0.0; n];
+        lt.matvec(&x, &mut ltx);
+        let mut llx = vec![0.0; n];
+        l.matvec(&ltx, &mut llx);
+        for i in 0..n {
+            assert!((ax[i] - llx[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn detects_indefiniteness() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 1.0);
+        let a = SymCsc::from_lower_triplets(&t).unwrap();
+        assert!(matches!(
+            simplicial_cholesky(&a),
+            Err(FactorError::NotPositiveDefinite { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn keeps_fill_pattern_superset_of_a() {
+        let a = laplace2d(4, 2);
+        let l = simplicial_cholesky(&a).unwrap();
+        assert!(l.nnz() >= a.nnz_lower());
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end solver pipeline: ordering → symbolic → numeric → solve.
+//!
+//! [`CholeskySolver`] is the public entry point a downstream user calls:
+//! it owns the composed permutation (fill-reducing order, postorder,
+//! merge reordering, partition refinement), the symbolic factor and the
+//! numeric factor, and exposes permutation-transparent solves with
+//! optional iterative refinement.
+
+use rlchol_ordering::{order, OrderingMethod};
+use rlchol_sparse::{Permutation, SymCsc};
+use rlchol_symbolic::{analyze, SymbolicFactor, SymbolicOptions};
+
+use crate::engine::{GpuOptions, GpuRun, Method};
+use crate::error::FactorError;
+use crate::gpu_rl::factor_rl_gpu;
+use crate::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
+use crate::rl::factor_rl_cpu;
+use crate::rlb::factor_rlb_cpu;
+use crate::solve;
+use crate::storage::FactorData;
+
+/// Options for [`CholeskySolver::factor`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Fill-reducing ordering (paper: METIS nested dissection).
+    pub ordering: OrderingMethod,
+    /// Symbolic pipeline options (merging, partition refinement).
+    pub symbolic: SymbolicOptions,
+    /// Numeric engine.
+    pub method: Method,
+    /// GPU engine options (ignored by the CPU methods).
+    pub gpu: GpuOptions,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            ordering: OrderingMethod::NestedDissection,
+            symbolic: SymbolicOptions::default(),
+            method: Method::RlCpu,
+            gpu: GpuOptions::with_threshold(usize::MAX),
+        }
+    }
+}
+
+/// A factored SPD system ready for repeated solves.
+pub struct CholeskySolver {
+    sym: SymbolicFactor,
+    /// Original ordering → factor ordering.
+    total_perm: Permutation,
+    factor: FactorData,
+    /// Simulated seconds of the factorization (GPU engines only).
+    pub sim_seconds: Option<f64>,
+    /// Supernodes computed on the (simulated) GPU.
+    pub sn_on_gpu: usize,
+}
+
+impl CholeskySolver {
+    /// Orders, analyzes and factors `a`.
+    pub fn factor(a: &SymCsc, opts: &SolverOptions) -> Result<Self, FactorError> {
+        let fill = order(a, opts.ordering);
+        let a_fill = a.permute(&fill);
+        let sym = analyze(&a_fill, &opts.symbolic);
+        let total_perm = sym.perm.compose(&fill);
+        let a_fact = a_fill.permute(&sym.perm);
+        let (factor, sim_seconds, sn_on_gpu) = match opts.method {
+            Method::RlCpu => {
+                let run = factor_rl_cpu(&sym, &a_fact)?;
+                (run.factor, None, 0)
+            }
+            Method::RlbCpu => {
+                let run = factor_rlb_cpu(&sym, &a_fact)?;
+                (run.factor, None, 0)
+            }
+            Method::LlCpu => {
+                let run = crate::ll::factor_ll_cpu(&sym, &a_fact)?;
+                (run.factor, None, 0)
+            }
+            Method::MfCpu => {
+                let run = crate::multifrontal::factor_multifrontal_cpu(&sym, &a_fact)?;
+                (run.run.factor, None, 0)
+            }
+            Method::RlGpu => {
+                let run: GpuRun = factor_rl_gpu(&sym, &a_fact, &opts.gpu)?;
+                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
+            }
+            Method::RlbGpuV1 => {
+                let run = factor_rlb_gpu(&sym, &a_fact, &opts.gpu, RlbGpuVersion::V1)?;
+                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
+            }
+            Method::RlbGpuV2 => {
+                let run = factor_rlb_gpu(&sym, &a_fact, &opts.gpu, RlbGpuVersion::V2)?;
+                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
+            }
+        };
+        Ok(CholeskySolver {
+            sym,
+            total_perm,
+            factor,
+            sim_seconds,
+            sn_on_gpu,
+        })
+    }
+
+    /// The symbolic factor (structure, counts, supernodes).
+    pub fn symbolic(&self) -> &SymbolicFactor {
+        &self.sym
+    }
+
+    /// The numeric factor values.
+    pub fn factor_data(&self) -> &FactorData {
+        &self.factor
+    }
+
+    /// The composed permutation from the input ordering to factor order.
+    pub fn permutation(&self) -> &Permutation {
+        &self.total_perm
+    }
+
+    /// Factor nonzeros (including amalgamation padding).
+    pub fn factor_nnz(&self) -> u64 {
+        self.sym.nnz
+    }
+
+    /// Solves `A x = b` with `b` in the original ordering.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let bp = self.total_perm.apply_vec(b);
+        let xp = solve::solve(&self.sym, &self.factor, &bp);
+        self.total_perm.apply_inv_vec(&xp)
+    }
+
+    /// Solves with iterative refinement; returns `(x, final_residual_inf)`.
+    pub fn solve_refined(&self, a: &SymCsc, b: &[f64], max_iters: usize) -> (Vec<f64>, f64) {
+        let n = b.len();
+        let mut x = self.solve(b);
+        let mut resid = vec![0.0; n];
+        let mut last = f64::INFINITY;
+        for _ in 0..max_iters {
+            a.matvec(&x, &mut resid);
+            for i in 0..n {
+                resid[i] = b[i] - resid[i];
+            }
+            let norm = resid.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            if norm >= last || norm == 0.0 {
+                last = norm.min(last);
+                break;
+            }
+            last = norm;
+            let dx = self.solve(&resid);
+            for i in 0..n {
+                x[i] += dx[i];
+            }
+        }
+        (x, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlchol_matgen::{grid3d, laplace2d, Stencil};
+
+    fn check_pipeline(method: Method, gpu: GpuOptions) {
+        let a = grid3d(5, 5, 4, Stencil::Star7, 1, 77);
+        let opts = SolverOptions {
+            method,
+            gpu,
+            ..SolverOptions::default()
+        };
+        let solver = CholeskySolver::factor(&a, &opts).unwrap();
+        let n = a.n();
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        a.matvec(&x_true, &mut b);
+        let x = solver.solve(&b);
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .fold(0.0f64, |m, (&p, &q)| m.max((p - q).abs()));
+        assert!(err < 1e-8, "{method:?}: error {err}");
+    }
+
+    #[test]
+    fn all_methods_solve_correctly() {
+        check_pipeline(Method::RlCpu, GpuOptions::with_threshold(usize::MAX));
+        check_pipeline(Method::RlbCpu, GpuOptions::with_threshold(usize::MAX));
+        check_pipeline(Method::LlCpu, GpuOptions::with_threshold(usize::MAX));
+        check_pipeline(Method::MfCpu, GpuOptions::with_threshold(usize::MAX));
+        check_pipeline(Method::RlGpu, GpuOptions::with_threshold(200));
+        check_pipeline(Method::RlbGpuV1, GpuOptions::with_threshold(200));
+        check_pipeline(Method::RlbGpuV2, GpuOptions::with_threshold(200));
+    }
+
+    #[test]
+    fn orderings_reduce_fill_on_grids() {
+        let a = laplace2d(20, 5);
+        let natural = CholeskySolver::factor(
+            &a,
+            &SolverOptions {
+                ordering: OrderingMethod::Natural,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        let nd = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+        assert!(
+            nd.factor_nnz() < natural.factor_nnz(),
+            "ND {} vs natural {}",
+            nd.factor_nnz(),
+            natural.factor_nnz()
+        );
+    }
+
+    #[test]
+    fn refinement_improves_or_keeps_residual() {
+        let a = laplace2d(12, 6);
+        let solver = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+        let n = a.n();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let (x, resid) = solver.solve_refined(&a, &b, 3);
+        assert!(resid < 1e-9, "refined residual {resid}");
+        assert_eq!(x.len(), n);
+    }
+
+    #[test]
+    fn gpu_method_reports_sim_time() {
+        let a = laplace2d(10, 7);
+        let opts = SolverOptions {
+            method: Method::RlGpu,
+            gpu: GpuOptions::with_threshold(0),
+            ..SolverOptions::default()
+        };
+        let s = CholeskySolver::factor(&a, &opts).unwrap();
+        assert!(s.sim_seconds.unwrap() > 0.0);
+        assert_eq!(s.sn_on_gpu, s.symbolic().nsup());
+    }
+}

@@ -1,0 +1,65 @@
+//! Floating-point operation counts for the BLAS/LAPACK kernels.
+//!
+//! These formulas feed the performance models: the simulated CPU and GPU
+//! clocks advance by `flops / effective_rate` per call, so the counts must
+//! match what the kernels actually execute (multiplies + adds).
+
+/// Flops for `POTRF` on an `n x n` matrix: `n³/3 + n²/2 + n/6`.
+pub fn flops_potrf(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0 + n * n / 2.0 + n / 6.0
+}
+
+/// Flops for a right-side `TRSM` with an `m x n` right-hand side and an
+/// `n x n` triangle: `m n²`.
+pub fn flops_trsm(m: usize, n: usize) -> f64 {
+    m as f64 * n as f64 * n as f64
+}
+
+/// Flops for `SYRK` updating the lower triangle of an `n x n` matrix with
+/// an `n x k` operand: `k n (n + 1)`.
+pub fn flops_syrk(n: usize, k: usize) -> f64 {
+    k as f64 * n as f64 * (n as f64 + 1.0)
+}
+
+/// Flops for `GEMM` with `C (m x n) += A (m x k) * B (k x n)`: `2 m n k`.
+pub fn flops_gemm(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Flops for a triangular vector solve with an `n x n` triangle: `n²`.
+pub fn flops_trsv(n: usize) -> f64 {
+    (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn potrf_matches_closed_form_small() {
+        // n = 1: one sqrt-ish op bucket; formula gives 1.
+        assert!((flops_potrf(1) - 1.0).abs() < 1e-12);
+        // n = 2: 8/3 + 2 + 1/3 = 5
+        assert!((flops_potrf(2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_symmetry() {
+        assert_eq!(flops_gemm(3, 4, 5), flops_gemm(4, 3, 5));
+        assert_eq!(flops_gemm(10, 1, 1), 20.0);
+    }
+
+    #[test]
+    fn syrk_is_half_of_gemm_asymptotically() {
+        let (n, k) = (1000, 500);
+        let ratio = flops_syrk(n, k) / flops_gemm(n, n, k);
+        assert!((ratio - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn trsm_scales_quadratically_in_triangle_size() {
+        assert_eq!(flops_trsm(10, 4), 160.0);
+        assert_eq!(flops_trsv(7), 49.0);
+    }
+}

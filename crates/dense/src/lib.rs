@@ -1,0 +1,43 @@
+//! # rlchol-dense — dense BLAS/LAPACK kernels
+//!
+//! Pure-Rust, column-major dense kernels covering exactly the operations
+//! the right-looking supernodal Cholesky algorithms of the paper invoke:
+//!
+//! * [`potrf`] — dense Cholesky factorization of a lower-triangular block
+//!   (LAPACK `DPOTRF`), used to factor the diagonal block of a supernode;
+//! * [`trsm_rlt`] — triangular solve `X Lᵀ = B` (BLAS `DTRSM`,
+//!   right/lower/transpose), used to factor the rectangular part;
+//! * [`syrk_ln`] — symmetric rank-k update `C += α A Aᵀ` on the lower
+//!   triangle (BLAS `DSYRK`), used to compute update matrices;
+//! * [`gemm_nt`] / [`gemm_nn`] — general matrix products (BLAS `DGEMM`),
+//!   used for the off-diagonal blocks of RLB updates;
+//! * [`trsm_lln`] / [`trsm_llt`] and [`trsv_ln`] / [`trsv_lt`] — forward
+//!   and backward substitution for the solve phase.
+//!
+//! All kernels operate on column-major slices with an explicit leading
+//! dimension (`lda`), mirroring the BLAS calling convention so the
+//! simulated-GPU runtime can expose an identical interface. [`DMat`] is a
+//! small owned column-major matrix used by tests, examples and supernode
+//! storage.
+//!
+//! The GEMM path packs operands into contiguous panels and runs a
+//! register-blocked micro-kernel; POTRF/TRSM/SYRK are blocked on top of it
+//! (right-looking, as in LAPACK).
+
+pub mod flops;
+pub mod gemm;
+pub mod mat;
+pub mod par;
+pub mod potrf;
+pub mod syrk;
+pub mod trsm;
+
+pub use flops::{flops_gemm, flops_potrf, flops_syrk, flops_trsm};
+pub use gemm::{gemm_nn, gemm_nt};
+pub use mat::DMat;
+pub use potrf::{potrf, PotrfError};
+pub use syrk::syrk_ln;
+pub use trsm::{trsm_lln, trsm_llt, trsm_rlt, trsv_ln, trsv_lt};
+
+/// Default cache-block size for the blocked POTRF/TRSM/SYRK algorithms.
+pub const NB: usize = 64;

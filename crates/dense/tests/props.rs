@@ -1,0 +1,93 @@
+//! Property-based tests of the dense kernels against naive references.
+
+use proptest::prelude::*;
+use rlchol_dense::gemm::gemm_naive;
+use rlchol_dense::{gemm_nn, gemm_nt, potrf, syrk_ln, trsm_rlt, DMat};
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0..2.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_nn_matches_naive(
+        m in 1usize..40, n in 1usize..40, k in 1usize..40, seed in 0u64..1000
+    ) {
+        let _ = seed;
+        let a = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect::<Vec<_>>();
+        let b = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f64 - 6.0).collect::<Vec<_>>();
+        let c0 = (0..m * n).map(|i| (i % 3) as f64).collect::<Vec<_>>();
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        gemm_nn(m, n, k, -1.5, &a, m, &b, k, 0.5, &mut c1, m);
+        gemm_naive(m, n, k, -1.5, &a, m, &b, k, false, 0.5, &mut c2, m);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive(
+        m in 1usize..32, n in 1usize..32, k in 1usize..32
+    ) {
+        let a = (0..m * k).map(|i| ((i * 3) % 7) as f64 - 3.0).collect::<Vec<_>>();
+        let b = (0..n * k).map(|i| ((i * 11) % 5) as f64 - 2.0).collect::<Vec<_>>();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_nt(m, n, k, 1.0, &a, m, &b, n, 0.0, &mut c1, m);
+        gemm_naive(m, n, k, 1.0, &a, m, &b, n, true, 0.0, &mut c2, m);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn syrk_equals_gemm_with_self(n in 1usize..40, k in 1usize..24) {
+        let a: Vec<f64> = (0..n * k).map(|i| ((i * 13 + 5) % 9) as f64 * 0.25 - 1.0).collect();
+        let mut c_syrk = vec![0.0; n * n];
+        syrk_ln(n, k, 1.0, &a, n, 0.0, &mut c_syrk, n);
+        let mut c_gemm = vec![0.0; n * n];
+        gemm_nt(n, n, k, 1.0, &a, n, &a, n, 0.0, &mut c_gemm, n);
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((c_syrk[j * n + i] - c_gemm[j * n + i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_then_multiply_recovers_spd(n in 1usize..48, x in vec_strategy(48 * 48)) {
+        // A = M Mᵀ + n·I is SPD for any M.
+        let m = DMat::from_col_major(n, n, x[..n * n].to_vec());
+        let mut a = m.matmul(&m.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let orig = a.clone();
+        potrf(n, a.as_mut_slice(), n).unwrap();
+        a.zero_upper();
+        let rec = a.matmul(&a.transpose());
+        prop_assert!(rec.max_abs_diff(&orig) < 1e-8 * (n as f64 + 1.0));
+    }
+
+    #[test]
+    fn trsm_rlt_solves(m in 1usize..32, n in 1usize..32) {
+        // Well-conditioned lower triangle.
+        let mut l = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in j..n {
+                l[j * n + i] = if i == j { 3.0 } else { ((i + 2 * j) % 3) as f64 * 0.2 - 0.2 };
+            }
+        }
+        let x_true: Vec<f64> = (0..m * n).map(|i| ((i * 17) % 11) as f64 - 5.0).collect();
+        // b = x Lᵀ
+        let mut b = vec![0.0; m * n];
+        gemm_naive(m, n, n, 1.0, &x_true, m, &l, n, true, 0.0, &mut b, m);
+        trsm_rlt(m, n, &l, n, &mut b, m);
+        for (got, want) in b.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8);
+        }
+    }
+}

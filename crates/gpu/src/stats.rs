@@ -1,0 +1,48 @@
+//! Aggregate counters of a simulated-device session.
+
+/// Counters accumulated by the [`Gpu`](crate::Gpu) runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuStats {
+    /// Kernels launched.
+    pub kernel_launches: u64,
+    /// Simulated seconds spent inside kernels (sum over streams).
+    pub kernel_seconds: f64,
+    /// Host-to-device copies issued.
+    pub h2d_count: u64,
+    /// Bytes moved host → device.
+    pub h2d_bytes: u64,
+    /// Device-to-host copies issued.
+    pub d2h_count: u64,
+    /// Bytes moved device → host.
+    pub d2h_bytes: u64,
+    /// Simulated seconds of transfer time (sum, ignoring overlap).
+    pub transfer_seconds: f64,
+    /// Simulated seconds of host compute registered via `host_compute`.
+    pub host_seconds: f64,
+    /// Current device memory in use, bytes.
+    pub used_bytes: u64,
+    /// High-water mark of device memory, bytes.
+    pub peak_bytes: u64,
+}
+
+impl GpuStats {
+    /// Total bytes across both transfer directions.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = GpuStats {
+            h2d_bytes: 10,
+            d2h_bytes: 32,
+            ..Default::default()
+        };
+        assert_eq!(s.total_transfer_bytes(), 42);
+    }
+}

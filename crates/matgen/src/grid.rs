@@ -1,0 +1,207 @@
+//! Structured-grid SPD generators.
+
+use crate::values::spd_from_edges;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rlchol_sparse::SymCsc;
+
+/// Finite-difference/finite-element coupling stencils.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stencil {
+    /// 2-D: axis neighbors.
+    Star5,
+    /// 2-D: axis + diagonal neighbors.
+    Star9,
+    /// 3-D: axis neighbors.
+    Star7,
+    /// 3-D: full 3×3×3 neighborhood (higher connectivity, bone/EM-like).
+    Star27,
+}
+
+/// Node-level edges of a structured grid.
+fn grid_edges(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> Vec<(usize, usize)> {
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let offsets: Vec<(i64, i64, i64)> = match stencil {
+        Stencil::Star5 => vec![(1, 0, 0), (0, 1, 0)],
+        Stencil::Star9 => vec![(1, 0, 0), (0, 1, 0), (1, 1, 0), (1, -1, 0)],
+        Stencil::Star7 => vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)],
+        Stencil::Star27 => {
+            // Half of the 26 neighbors (each undirected edge once).
+            let mut o = Vec::new();
+            for dz in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if (dz, dy, dx) > (0, 0, 0) {
+                            o.push((dx, dy, dz));
+                        }
+                    }
+                }
+            }
+            o
+        }
+    };
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let u = idx(x, y, z);
+                for &(dx, dy, dz) in &offsets {
+                    let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if xx >= 0
+                        && (xx as usize) < nx
+                        && yy >= 0
+                        && (yy as usize) < ny
+                        && zz >= 0
+                        && (zz as usize) < nz
+                    {
+                        let v = idx(xx as usize, yy as usize, zz as usize);
+                        edges.push((u.max(v), u.min(v)));
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Expands node edges into multi-dof edges: all dof pairs couple between
+/// adjacent nodes, and dofs within one node couple densely.
+fn expand_dofs(n_nodes: usize, node_edges: &[(usize, usize)], dofs: usize) -> Vec<(usize, usize)> {
+    if dofs == 1 {
+        return node_edges.to_vec();
+    }
+    let mut edges = Vec::with_capacity(node_edges.len() * dofs * dofs + n_nodes * dofs);
+    for &(u, v) in node_edges {
+        for du in 0..dofs {
+            for dv in 0..dofs {
+                let a = u * dofs + du;
+                let b = v * dofs + dv;
+                edges.push((a.max(b), a.min(b)));
+            }
+        }
+    }
+    for node in 0..n_nodes {
+        for du in 0..dofs {
+            for dv in du + 1..dofs {
+                edges.push((node * dofs + dv, node * dofs + du));
+            }
+        }
+    }
+    edges
+}
+
+/// SPD matrix on an `nx × ny` 2-D grid.
+pub fn grid2d(nx: usize, ny: usize, stencil: Stencil, dofs: usize, seed: u64) -> SymCsc {
+    assert!(matches!(stencil, Stencil::Star5 | Stencil::Star9));
+    let edges = grid_edges(nx, ny, 1, stencil);
+    let e = expand_dofs(nx * ny, &edges, dofs);
+    spd_from_edges(nx * ny * dofs, &e, seed)
+}
+
+/// SPD matrix on an `nx × ny × nz` 3-D grid.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil, dofs: usize, seed: u64) -> SymCsc {
+    assert!(matches!(stencil, Stencil::Star7 | Stencil::Star27));
+    let edges = grid_edges(nx, ny, nz, stencil);
+    let e = expand_dofs(nx * ny * nz, &edges, dofs);
+    spd_from_edges(nx * ny * nz * dofs, &e, seed)
+}
+
+/// A 3-D grid with a fraction of extra random short-range edges —
+/// imitates unstructured FE meshes (dielFilter/StocF analogues).
+pub fn perturbed_grid3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    stencil: Stencil,
+    dofs: usize,
+    extra_frac: f64,
+    seed: u64,
+) -> SymCsc {
+    let mut edges = grid_edges(nx, ny, nz, stencil);
+    let n_nodes = nx * ny * nz;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let extra = (edges.len() as f64 * extra_frac) as usize;
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for _ in 0..extra {
+        // Short-range random jump (distance <= 2 in each axis) keeps the
+        // graph mesh-like rather than expander-like.
+        let x = rng.random_range(0..nx);
+        let y = rng.random_range(0..ny);
+        let z = rng.random_range(0..nz);
+        let jump = |c: usize, n: usize, rng: &mut StdRng| -> usize {
+            let d = rng.random_range(0..5) as i64 - 2;
+            (c as i64 + d).clamp(0, n as i64 - 1) as usize
+        };
+        let u = idx(x, y, z);
+        let v = idx(jump(x, nx, &mut rng), jump(y, ny, &mut rng), jump(z, nz, &mut rng));
+        if u != v {
+            edges.push((u.max(v), u.min(v)));
+        }
+    }
+    let e = expand_dofs(n_nodes, &edges, dofs);
+    spd_from_edges(n_nodes * dofs, &e, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_dimensions_and_nnz() {
+        let a = grid2d(4, 3, Stencil::Star5, 1, 0);
+        assert_eq!(a.n(), 12);
+        // Edges: 3*3 horizontal? nx=4,ny=3: horizontal (nx-1)*ny = 9,
+        // vertical nx*(ny-1) = 8 → 17 + 12 diagonal = 29 lower entries.
+        assert_eq!(a.nnz_lower(), 29);
+    }
+
+    #[test]
+    fn grid3d_star7_degree() {
+        let a = grid3d(3, 3, 3, Stencil::Star7, 1, 0);
+        assert_eq!(a.n(), 27);
+        // Center node has 6 neighbors.
+        let g = a.to_graph();
+        assert_eq!(g.degree(13), 6);
+    }
+
+    #[test]
+    fn star27_has_higher_connectivity() {
+        let a7 = grid3d(4, 4, 4, Stencil::Star7, 1, 0);
+        let a27 = grid3d(4, 4, 4, Stencil::Star27, 1, 0);
+        assert!(a27.nnz_lower() > 2 * a7.nnz_lower());
+    }
+
+    #[test]
+    fn dofs_expand_block_structure() {
+        let a = grid2d(2, 2, Stencil::Star5, 3, 0);
+        assert_eq!(a.n(), 12);
+        // Within-node dense blocks: dofs of node 0 pairwise coupled.
+        assert!(a.get(1, 0) != 0.0 && a.get(2, 0) != 0.0 && a.get(2, 1) != 0.0);
+        // Cross-node coupling between all dof pairs of adjacent nodes.
+        assert!(a.get(3, 0) != 0.0 && a.get(5, 2) != 0.0);
+    }
+
+    #[test]
+    fn perturbed_adds_edges() {
+        let base = grid3d(6, 6, 6, Stencil::Star7, 1, 1);
+        let pert = perturbed_grid3d(6, 6, 6, Stencil::Star7, 1, 0.3, 1);
+        assert!(pert.nnz_lower() > base.nnz_lower());
+        assert_eq!(pert.n(), base.n());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = grid3d(5, 4, 3, Stencil::Star7, 2, 9);
+        let b = grid3d(5, 4, 3, Stencil::Star7, 2, 9);
+        assert_eq!(a, b);
+        let p1 = perturbed_grid3d(5, 5, 5, Stencil::Star7, 1, 0.2, 3);
+        let p2 = perturbed_grid3d(5, 5, 5, Stencil::Star7, 1, 0.2, 3);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn anisotropic_shapes() {
+        let long = grid3d(20, 5, 5, Stencil::Star7, 1, 0);
+        assert_eq!(long.n(), 500);
+    }
+}

@@ -1,0 +1,113 @@
+//! Calibrated presets for the paper's test platform (a Perlmutter node).
+//!
+//! Constants are drawn from public hardware specifications and typical
+//! achieved fractions:
+//!
+//! * **CPU** — 2× AMD EPYC 7763 (64 cores/socket, 2.45 GHz, AVX2 FMA →
+//!   39.2 GF/s/core), 16 channels DDR4-3200 (~400 GB/s node read
+//!   bandwidth), MKL-like sub-linear thread scaling.
+//! * **GPU** — NVIDIA A100-40GB: 9.7 TF/s FP64 (19.5 with FP64 tensor
+//!   cores; MAGMA's DGEMM path lands in between → 11 TF/s effective),
+//!   1 555 GB/s HBM2e, ~8 µs kernel launch, PCIe 4.0 ×16 (~24 GB/s
+//!   effective, ~10 µs per-transfer latency).
+//!
+//! The device memory capacity defaults to the paper's 40 GB; the synthetic
+//! suite scales it down alongside the matrices so capacity effects
+//! (nlpkkt120 failing under RL, Table I) reproduce at laptop scale.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+
+/// The CPU model at a given MKL thread count (paper sweeps 8…128).
+pub fn perlmutter_cpu(threads: usize) -> CpuModel {
+    CpuModel {
+        threads,
+        per_core_peak: 39.2e9,
+        // Calibrated against the paper's implied CPU rates: MKL on the
+        // supernodal call mix achieves ~0.7-1.4 TF/s at 128 threads (the
+        // Table I/II speedups against an 11 TF/s-class device), i.e.
+        // eff(128) ~ 0.28.
+        eff_loss_per_thread: 0.02,
+        peak_bandwidth: 400.0e9,
+        bw_half_threads: 12.0,
+        call_overhead_base: 2.0e-6,
+        call_overhead_per_thread: 2.0e-8,
+        scatter_bandwidth: 400.0e9,
+    }
+}
+
+/// The A100-40GB + MAGMA + PCIe 4.0 model.
+pub fn perlmutter_gpu() -> GpuModel {
+    GpuModel {
+        peak: 11.0e12,
+        hbm_bandwidth: 1555.0e9,
+        launch_overhead: 8.0e-6,
+        transfer_latency: 10.0e-6,
+        transfer_bandwidth: 24.0e9,
+        // 2.5e9 flops at 11 TF/s ~ 230 us: the observed floor of
+        // MAGMA-class small dense kernels on A100.
+        small_kernel_flops: 2.5e9,
+        memory_capacity: 40 << 30,
+    }
+}
+
+/// A machine model bundling the CPU (at a fixed thread count) and GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineModel {
+    pub cpu: CpuModel,
+    pub gpu: GpuModel,
+}
+
+impl MachineModel {
+    /// The paper's platform with the given CPU thread count.
+    pub fn perlmutter(threads: usize) -> Self {
+        MachineModel {
+            cpu: perlmutter_cpu(threads),
+            gpu: perlmutter_gpu(),
+        }
+    }
+
+    /// Same platform with a reduced device memory capacity — used by the
+    /// scaled suite so that memory-capacity effects reproduce.
+    pub fn with_gpu_capacity(mut self, bytes: u64) -> Self {
+        self.gpu.memory_capacity = bytes;
+        self
+    }
+
+    /// Scales both processors' compute rates down by `s` (PCIe terms and
+    /// overheads fixed) — the machine-side counterpart of shrinking the
+    /// matrix suite, preserving the paper's compute-to-transfer balance.
+    pub fn scale_compute(mut self, s: f64) -> Self {
+        self.cpu = self.cpu.scale_compute(s);
+        self.gpu = self.gpu.scale_compute(s);
+        self
+    }
+}
+
+/// The thread counts the paper sweeps for the CPU baseline.
+pub const PAPER_THREAD_SWEEP: [usize; 5] = [8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_magnitudes() {
+        let c = perlmutter_cpu(128);
+        assert!(c.compute_rate() > 1.0e12 && c.compute_rate() < 6.0e12);
+        let g = perlmutter_gpu();
+        assert!(g.peak > c.compute_rate());
+        assert_eq!(g.memory_capacity, 40 << 30);
+    }
+
+    #[test]
+    fn capacity_override() {
+        let m = MachineModel::perlmutter(64).with_gpu_capacity(1 << 20);
+        assert_eq!(m.gpu.memory_capacity, 1 << 20);
+    }
+
+    #[test]
+    fn thread_sweep_matches_paper() {
+        assert_eq!(PAPER_THREAD_SWEEP, [8, 16, 32, 64, 128]);
+    }
+}

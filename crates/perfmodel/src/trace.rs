@@ -1,0 +1,145 @@
+//! Operation records emitted by the factorization engines.
+
+/// One operation of a factorization, with enough shape information to cost
+/// it under any machine model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceOp {
+    /// Dense Cholesky of an `n x n` diagonal block (`DPOTRF`).
+    Potrf { n: usize },
+    /// Triangular solve with an `m x n` panel against an `n x n` triangle
+    /// (`DTRSM`, right/lower/transposed).
+    Trsm { m: usize, n: usize },
+    /// Symmetric rank-k update of an `n x n` lower triangle with an
+    /// `n x k` operand (`DSYRK`).
+    Syrk { n: usize, k: usize },
+    /// General multiply `C (m x n) += A (m x k) Bᵀ` (`DGEMM`).
+    Gemm { m: usize, n: usize, k: usize },
+    /// CPU-side scatter-add of `entries` update entries into factor
+    /// storage (the assembly loops the paper parallelizes with OpenMP).
+    Assemble { entries: usize },
+    /// Host-to-device transfer.
+    H2D { bytes: usize },
+    /// Device-to-host transfer.
+    D2H { bytes: usize },
+}
+
+impl TraceOp {
+    /// Floating-point operations of the call (0 for transfers/assembly —
+    /// assembly is costed by bytes moved, not flops).
+    pub fn flops(&self) -> f64 {
+        match *self {
+            TraceOp::Potrf { n } => {
+                let n = n as f64;
+                n * n * n / 3.0 + n * n / 2.0 + n / 6.0
+            }
+            TraceOp::Trsm { m, n } => m as f64 * (n as f64) * (n as f64),
+            TraceOp::Syrk { n, k } => k as f64 * n as f64 * (n as f64 + 1.0),
+            TraceOp::Gemm { m, n, k } => 2.0 * m as f64 * n as f64 * k as f64,
+            TraceOp::Assemble { .. } | TraceOp::H2D { .. } | TraceOp::D2H { .. } => 0.0,
+        }
+    }
+
+    /// Bytes touched by the call (reads + writes of `f64` operands), used
+    /// as the roofline bandwidth term.
+    pub fn bytes(&self) -> f64 {
+        const W: f64 = 8.0;
+        match *self {
+            TraceOp::Potrf { n } => W * (n * n) as f64,
+            TraceOp::Trsm { m, n } => W * (m * n + n * n / 2 + m * n) as f64,
+            TraceOp::Syrk { n, k } => W * (n * k + n * n) as f64,
+            TraceOp::Gemm { m, n, k } => W * (m * k + n * k + 2 * m * n) as f64,
+            // Scatter-add: read update entry + read/write target.
+            TraceOp::Assemble { entries } => 3.0 * W * entries as f64,
+            TraceOp::H2D { bytes } | TraceOp::D2H { bytes } => bytes as f64,
+        }
+    }
+
+    /// True for PCIe transfer records.
+    pub fn is_transfer(&self) -> bool {
+        matches!(self, TraceOp::H2D { .. } | TraceOp::D2H { .. })
+    }
+}
+
+/// An ordered sequence of operations with named phases for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Total flops across all records.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops()).sum()
+    }
+
+    /// Number of BLAS calls (excludes transfers and assembly).
+    pub fn blas_calls(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| !o.is_transfer() && !matches!(o, TraceOp::Assemble { .. }))
+            .count()
+    }
+
+    /// Total transferred bytes (both directions).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match *o {
+                TraceOp::H2D { bytes } | TraceOp::D2H { bytes } => bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Serial CPU replay: sums the model cost of every record (transfers are
+/// skipped — a CPU-only run performs none).
+pub fn replay_cpu(trace: &Trace, cpu: &crate::CpuModel) -> f64 {
+    trace
+        .ops
+        .iter()
+        .filter(|o| !o.is_transfer())
+        .map(|o| cpu.op_time(o))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_formulas() {
+        assert_eq!(TraceOp::Gemm { m: 2, n: 3, k: 4 }.flops(), 48.0);
+        assert_eq!(TraceOp::Trsm { m: 10, n: 3 }.flops(), 90.0);
+        assert!((TraceOp::Potrf { n: 2 }.flops() - 5.0).abs() < 1e-12);
+        assert_eq!(TraceOp::H2D { bytes: 100 }.flops(), 0.0);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Potrf { n: 4 });
+        t.push(TraceOp::H2D { bytes: 256 });
+        t.push(TraceOp::D2H { bytes: 128 });
+        t.push(TraceOp::Assemble { entries: 10 });
+        assert_eq!(t.blas_calls(), 1);
+        assert_eq!(t.transfer_bytes(), 384);
+        assert!(t.total_flops() > 0.0);
+    }
+
+    #[test]
+    fn transfer_flags() {
+        assert!(TraceOp::H2D { bytes: 1 }.is_transfer());
+        assert!(!TraceOp::Syrk { n: 1, k: 1 }.is_transfer());
+    }
+}

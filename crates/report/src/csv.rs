@@ -1,0 +1,45 @@
+//! Minimal CSV output (quotes fields containing separators).
+
+use std::io::Write;
+
+/// Writes rows of string-like cells as CSV to `w`.
+pub fn write_csv<W: Write, S: AsRef<str>>(
+    w: &mut W,
+    rows: &[Vec<S>],
+) -> std::io::Result<()> {
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| escape(c.as_ref())).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_plain_rows() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[vec!["a", "b"], vec!["1", "2"]]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[vec!["a,b", "say \"hi\""]]).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "\"a,b\",\"say \"\"hi\"\"\"\n"
+        );
+    }
+}

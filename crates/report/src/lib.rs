@@ -1,0 +1,22 @@
+//! # rlchol-report — performance profiles, tables and plots
+//!
+//! Reporting utilities for the experiment harnesses:
+//!
+//! * [`profile`] — Dolan–Moré performance profiles (the paper's Figure 3):
+//!   for each solver, the fraction of problems solved within a factor
+//!   `2^τ` of the best solver;
+//! * [`table`] — fixed-width text tables matching the layout of the
+//!   paper's Tables I and II;
+//! * [`plot`] — ASCII line plots for terminal-friendly figure output;
+//! * [`csv`] — minimal CSV writing for downstream plotting.
+
+pub mod csv;
+pub mod plot;
+pub mod profile;
+pub mod spy;
+pub mod table;
+
+pub use plot::ascii_plot;
+pub use profile::PerformanceProfile;
+pub use spy::spy_lower;
+pub use table::Table;

@@ -1,0 +1,96 @@
+//! ASCII line plots for terminal figure output.
+
+/// Renders multiple series as an ASCII plot.
+///
+/// All series share the x grid `xs`; `ys[s]` is series `s`, labeled
+/// `labels[s]` and drawn with its marker character. Intended for
+/// monotone curves like performance profiles (y in [0, 1]).
+pub fn ascii_plot(
+    xs: &[f64],
+    ys: &[Vec<f64>],
+    labels: &[&str],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(!xs.is_empty());
+    assert_eq!(ys.len(), labels.len());
+    for s in ys {
+        assert_eq!(s.len(), xs.len());
+    }
+    const MARKS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (xmin, xmax) = (xs[0], *xs.last().unwrap());
+    let ymin = ys
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let ymax = ys
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1.0);
+    let mut grid = vec![vec![' '; width]; height];
+    let to_col = |x: f64| -> usize {
+        if xmax > xmin {
+            (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize
+        } else {
+            0
+        }
+    };
+    let to_row = |y: f64| -> usize {
+        let frac = if ymax > ymin {
+            (y - ymin) / (ymax - ymin)
+        } else {
+            0.0
+        };
+        height - 1 - (frac * (height - 1) as f64).round() as usize
+    };
+    for (s, series) in ys.iter().enumerate() {
+        let mark = MARKS[s % MARKS.len()];
+        for (k, &y) in series.iter().enumerate() {
+            let (r, c) = (to_row(y), to_col(xs[k]));
+            grid[r][c] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let yval = ymax - (ymax - ymin) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yval:5.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      +{}\n       x: {:.2} .. {:.2}\n",
+        "-".repeat(width),
+        xmin,
+        xmax
+    ));
+    for (s, label) in labels.iter().enumerate() {
+        out.push_str(&format!("       {} {}\n", MARKS[s % MARKS.len()], label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_contain_markers_and_labels() {
+        let xs = vec![0.0, 1.0, 2.0];
+        let ys = vec![vec![0.0, 0.5, 1.0], vec![1.0, 1.0, 1.0]];
+        let s = ascii_plot(&xs, &ys, &["up", "flat"], 20, 8);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("up"));
+        assert!(s.contains("flat"));
+    }
+
+    #[test]
+    fn handles_single_point() {
+        let s = ascii_plot(&[0.0], &[vec![0.5]], &["dot"], 10, 4);
+        assert!(s.contains('*'));
+    }
+}

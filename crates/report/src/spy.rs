@@ -1,0 +1,67 @@
+//! ASCII sparsity ("spy") plots — terminal renderings of nonzero
+//! patterns like the paper's Figure 1/2 matrices.
+
+/// Renders the lower-triangular pattern of an `n x n` symmetric matrix
+/// given per-column row lists, downsampled onto a `size x size` character
+/// grid ('*' = at least one nonzero in the cell, '.' = empty).
+pub fn spy_lower<F>(n: usize, size: usize, mut col_rows: F) -> String
+where
+    F: FnMut(usize) -> Vec<usize>,
+{
+    let size = size.min(n).max(1);
+    let mut grid = vec![vec!['.'; size]; size];
+    let cell = |i: usize| i * size / n;
+    for j in 0..n {
+        for i in col_rows(j) {
+            debug_assert!(i >= j, "lower triangle expected");
+            grid[cell(i)][cell(j)] = '*';
+        }
+    }
+    let mut out = String::with_capacity(size * (size + 3));
+    for row in grid {
+        out.push(' ');
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_draws_a_diagonal() {
+        let s = spy_lower(8, 8, |j| vec![j]);
+        let lines: Vec<&str> = s.lines().collect();
+        for (r, line) in lines.iter().enumerate() {
+            let stars: Vec<usize> = line
+                .chars()
+                .enumerate()
+                .filter(|&(_, c)| c == '*')
+                .map(|(i, _)| i - 1)
+                .collect();
+            assert_eq!(stars, vec![r], "row {r}");
+        }
+    }
+
+    #[test]
+    fn downsampling_keeps_coverage() {
+        // Dense lower triangle at half resolution: lower cells all marked.
+        let n = 16;
+        let s = spy_lower(n, 8, |j| (j..n).collect());
+        for (r, line) in s.lines().enumerate() {
+            for (c, ch) in line.chars().skip(1).enumerate() {
+                if c <= r {
+                    assert_eq!(ch, '*', "cell ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_size_is_clamped() {
+        let s = spy_lower(3, 10, |j| vec![j]);
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Coordinate-format (triplet) builder.
+//!
+//! [`TripletMatrix`] is the mutable entry point of the substrate: entries
+//! are appended in any order, duplicates are summed on conversion, and the
+//! result is compressed into [`CscMatrix`](crate::CscMatrix) or
+//! [`SymCsc`](crate::SymCsc).
+
+use crate::error::SparseError;
+
+/// A sparse matrix in coordinate (COO) format, used as a builder.
+///
+/// Entries may appear in any order and may repeat; repeated entries are
+/// summed when the matrix is compressed.
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with storage reserved for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows of the target matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the target matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of (possibly duplicate) entries pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends entry `(row, col, val)`. Panics in debug builds if out of
+    /// bounds; use [`try_push`](Self::try_push) for checked insertion.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Appends entry `(row, col, val)`, validating bounds.
+    pub fn try_push(&mut self, row: usize, col: usize, val: f64) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.push(row, col, val);
+        Ok(())
+    }
+
+    /// Appends `(row, col, val)` and, when off-diagonal, `(col, row, val)`.
+    ///
+    /// Convenient when assembling symmetric matrices from element stencils.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) {
+        self.push(row, col, val);
+        if row != col {
+            self.push(col, row, val);
+        }
+    }
+
+    /// Immutable views of the raw triplet arrays `(rows, cols, vals)`.
+    pub fn triplets(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Compresses into CSC arrays `(colptr, rowind, values)`, summing
+    /// duplicates and sorting row indices within each column.
+    ///
+    /// This is the workhorse shared by [`CscMatrix::from_triplets`]
+    /// (crate::CscMatrix::from_triplets) and
+    /// [`SymCsc::from_lower_triplets`](crate::SymCsc::from_lower_triplets).
+    pub fn compress(&self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        let n = self.ncols;
+        let nnz = self.vals.len();
+
+        // Counting sort by column.
+        let mut colptr = vec![0usize; n + 1];
+        for &c in &self.cols {
+            colptr[c + 1] += 1;
+        }
+        for j in 0..n {
+            colptr[j + 1] += colptr[j];
+        }
+        let mut rowind = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = colptr.clone();
+        for k in 0..nnz {
+            let c = self.cols[k];
+            let dst = next[c];
+            rowind[dst] = self.rows[k];
+            values[dst] = self.vals[k];
+            next[c] += 1;
+        }
+
+        // Sort rows within each column and combine duplicates in place.
+        let mut out_colptr = vec![0usize; n + 1];
+        let mut write = 0usize;
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            let (lo, hi) = (colptr[j], colptr[j + 1]);
+            scratch.clear();
+            scratch.extend(rowind[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let col_start = write;
+            for &(r, v) in scratch.iter() {
+                if write > col_start && rowind[write - 1] == r {
+                    values[write - 1] += v;
+                } else {
+                    rowind[write] = r;
+                    values[write] = v;
+                    write += 1;
+                }
+            }
+            out_colptr[j + 1] = write;
+        }
+        rowind.truncate(write);
+        values.truncate(write);
+        (out_colptr, rowind, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_compresses_to_empty_csc() {
+        let t = TripletMatrix::new(4, 3);
+        let (colptr, rowind, values) = t.compress();
+        assert_eq!(colptr, vec![0, 0, 0, 0]);
+        assert!(rowind.is_empty());
+        assert!(values.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 0, 1.5);
+        t.push(1, 0, 2.5);
+        t.push(0, 0, 1.0);
+        let (colptr, rowind, values) = t.compress();
+        assert_eq!(colptr, vec![0, 2, 2, 2]);
+        assert_eq!(rowind, vec![0, 1]);
+        assert_eq!(values, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn rows_sorted_within_columns() {
+        let mut t = TripletMatrix::new(5, 2);
+        t.push(4, 1, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(2, 1, 3.0);
+        let (_, rowind, values) = t.compress();
+        assert_eq!(rowind, vec![0, 2, 4]);
+        assert_eq!(values, vec![2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_bounds() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(t.try_push(2, 0, 1.0).is_err());
+        assert!(t.try_push(0, 2, 1.0).is_err());
+        assert!(t.try_push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push_sym(2, 1, -1.0);
+        t.push_sym(1, 1, 4.0);
+        assert_eq!(t.nnz(), 3);
+        let (colptr, rowind, _) = t.compress();
+        assert_eq!(colptr, vec![0, 0, 2, 3]);
+        assert_eq!(rowind, vec![1, 2, 1]);
+    }
+}

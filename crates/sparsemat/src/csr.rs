@@ -1,0 +1,173 @@
+//! Compressed sparse row matrices.
+//!
+//! CSR is the transpose view of CSC; it exists here mainly for row-wise
+//! traversal (e.g. building adjacency structures) and for users whose data
+//! arrives row-major. The factorization stack itself is column-oriented.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Column indices are sorted strictly increasing within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colind: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colind: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        // Validation is delegated to CscMatrix on the transposed dims:
+        // the structural invariants are identical.
+        CscMatrix::from_parts(ncols, nrows, rowptr.clone(), colind.clone(), values.clone())?;
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colind,
+            values,
+        })
+    }
+
+    /// Converts a CSC matrix into CSR form.
+    pub fn from_csc(a: &CscMatrix) -> Self {
+        let t = a.transpose();
+        CsrMatrix {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            rowptr: t.colptr().to_vec(),
+            colind: t.rowind().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Converts into CSC form.
+    pub fn to_csc(&self) -> CscMatrix {
+        // A CSR matrix reinterpreted as CSC is the transpose, so transpose
+        // once more to recover the original orientation.
+        CscMatrix::from_parts(
+            self.ncols,
+            self.nrows,
+            self.rowptr.clone(),
+            self.colind.clone(),
+            self.values.clone(),
+        )
+        .expect("internal CSR invariants guarantee a valid transpose view")
+        .transpose()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.colind.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array.
+    pub fn colind(&self) -> &[usize] {
+        &self.colind
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.colind[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.values[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Dense `y = A * x` using row-wise dot products.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for (&j, &v) in self.row_cols(i).iter().zip(self.row_values(i)) {
+                acc += v * x[j];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+
+    fn sample_csc() -> CscMatrix {
+        let mut t = TripletMatrix::new(3, 4);
+        t.push(0, 0, 1.0);
+        t.push(2, 0, 4.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, 2.0);
+        t.push(2, 3, 5.0);
+        CscMatrix::from_triplets(&t)
+    }
+
+    #[test]
+    fn csc_csr_round_trip() {
+        let a = sample_csc();
+        let r = CsrMatrix::from_csc(&a);
+        assert_eq!(r.nrows(), 3);
+        assert_eq!(r.ncols(), 4);
+        assert_eq!(r.to_csc(), a);
+    }
+
+    #[test]
+    fn row_access() {
+        let a = sample_csc();
+        let r = CsrMatrix::from_csc(&a);
+        assert_eq!(r.row_cols(0), &[0, 2]);
+        assert_eq!(r.row_values(0), &[1.0, 2.0]);
+        assert_eq!(r.row_cols(2), &[0, 3]);
+    }
+
+    #[test]
+    fn matvec_agrees_with_csc() {
+        let a = sample_csc();
+        let r = CsrMatrix::from_csc(&a);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let (mut y1, mut y2) = ([0.0; 3], [0.0; 3]);
+        a.matvec(&x, &mut y1);
+        r.matvec(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]).is_ok());
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+    }
+}

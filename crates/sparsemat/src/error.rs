@@ -1,0 +1,69 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while building, converting or reading sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared dimensions.
+    IndexOutOfBounds {
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// A structurally square operation received a rectangular matrix.
+    NotSquare { nrows: usize, ncols: usize },
+    /// Lower-triangular input contained an entry strictly above the diagonal.
+    UpperEntry { row: usize, col: usize },
+    /// A column of a symmetric matrix is missing its diagonal entry.
+    MissingDiagonal { col: usize },
+    /// Compressed structure is internally inconsistent (bad pointers/order).
+    InvalidStructure(String),
+    /// A permutation vector is not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// Matrix Market parsing failure with a line number when available.
+    Parse { line: usize, msg: String },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix dimensions {nrows}x{ncols}"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "expected a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::UpperEntry { row, col } => write!(
+                f,
+                "entry ({row}, {col}) lies above the diagonal of a lower-triangular matrix"
+            ),
+            SparseError::MissingDiagonal { col } => {
+                write!(f, "column {col} has no diagonal entry")
+            }
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Parse { line, msg } => {
+                write!(f, "matrix market parse error at line {line}: {msg}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,293 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` headers, which cover the
+//! SuiteSparse collection the paper draws its test set from. Pattern
+//! matrices are given unit off-diagonal values and diagonally dominant
+//! diagonals so they remain usable as SPD test inputs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::coo::TripletMatrix;
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::sym::SymCsc;
+
+/// Symmetry field of a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    General,
+    Symmetric,
+}
+
+/// Parsed form of a Matrix Market file.
+#[derive(Debug, Clone)]
+pub struct MmMatrix {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub symmetry: MmSymmetry,
+    /// Entries exactly as stored in the file (0-based indices).
+    pub entries: Vec<(usize, usize, f64)>,
+}
+
+impl MmMatrix {
+    /// Converts to a general CSC matrix, mirroring symmetric entries.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut t = TripletMatrix::with_capacity(self.nrows, self.ncols, self.entries.len() * 2);
+        for &(i, j, v) in &self.entries {
+            t.push(i, j, v);
+            if self.symmetry == MmSymmetry::Symmetric && i != j {
+                t.push(j, i, v);
+            }
+        }
+        CscMatrix::from_triplets(&t)
+    }
+
+    /// Converts to symmetric lower storage. For `general` files the strict
+    /// upper triangle is ignored (assumed to mirror the lower).
+    pub fn to_sym(&self) -> Result<SymCsc, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        let mut t = TripletMatrix::with_capacity(self.nrows, self.ncols, self.entries.len());
+        for &(i, j, v) in &self.entries {
+            if i >= j {
+                t.push(i, j, v);
+            } else if self.symmetry == MmSymmetry::Symmetric {
+                // Symmetric files may store either triangle; fold upward
+                // entries onto the lower triangle.
+                t.push(j, i, v);
+            }
+        }
+        SymCsc::from_lower_triplets(&t)
+    }
+}
+
+fn parse_header(line: &str) -> Result<(bool, MmSymmetry), SparseError> {
+    let fields: Vec<String> = line.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: 1,
+            msg: format!("not a MatrixMarket matrix header: {line:?}"),
+        });
+    }
+    if fields[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: 1,
+            msg: format!("only coordinate format supported, got {:?}", fields[2]),
+        });
+    }
+    let pattern = match fields[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(SparseError::Parse {
+                line: 1,
+                msg: format!("unsupported field type {other:?}"),
+            })
+        }
+    };
+    let symmetry = match fields[4].as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: 1,
+                msg: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+    Ok((pattern, symmetry))
+}
+
+/// Parses a Matrix Market stream.
+pub fn parse_matrix_market<R: Read>(reader: R) -> Result<MmMatrix, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or(SparseError::Parse {
+            line: 1,
+            msg: "empty file".to_string(),
+        })?
+        .map_err(SparseError::from)?;
+    let (pattern, symmetry) = parse_header(&header)?;
+
+    let mut lineno = 1usize;
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+    for line in lines {
+        let line = line.map_err(SparseError::from)?;
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        if dims.is_none() {
+            let parse = |s: Option<&str>| -> Result<usize, SparseError> {
+                s.and_then(|x| x.parse().ok()).ok_or(SparseError::Parse {
+                    line: lineno,
+                    msg: "bad size line".to_string(),
+                })
+            };
+            let nrows = parse(it.next())?;
+            let ncols = parse(it.next())?;
+            let nnz = parse(it.next())?;
+            dims = Some((nrows, ncols, nnz));
+            entries.reserve(nnz);
+            continue;
+        }
+        let (nrows, ncols, _) = dims.unwrap();
+        let i: usize = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or(SparseError::Parse {
+                line: lineno,
+                msg: "bad row index".to_string(),
+            })?;
+        let j: usize = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or(SparseError::Parse {
+                line: lineno,
+                msg: "bad column index".to_string(),
+            })?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("index ({i}, {j}) out of bounds (1-based)"),
+            });
+        }
+        let v: f64 = if pattern {
+            // Pattern files carry no values; synthesize SPD-friendly ones.
+            if i == j {
+                1.0
+            } else {
+                -0.1
+            }
+        } else {
+            it.next()
+                .and_then(|x| x.parse().ok())
+                .ok_or(SparseError::Parse {
+                    line: lineno,
+                    msg: "bad value".to_string(),
+                })?
+        };
+        entries.push((i - 1, j - 1, v));
+    }
+    let (nrows, ncols, nnz) = dims.ok_or(SparseError::Parse {
+        line: lineno,
+        msg: "missing size line".to_string(),
+    })?;
+    if entries.len() != nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("expected {nnz} entries, found {}", entries.len()),
+        });
+    }
+    Ok(MmMatrix {
+        nrows,
+        ncols,
+        symmetry,
+        entries,
+    })
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market<P: AsRef<Path>>(path: P) -> Result<MmMatrix, SparseError> {
+    let file = std::fs::File::open(path)?;
+    parse_matrix_market(file)
+}
+
+/// Writes a symmetric matrix (lower triangle) in Matrix Market format.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &SymCsc) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "{} {} {}", a.n(), a.n(), a.nnz_lower())?;
+    for j in 0..a.n() {
+        for (&i, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYM: &str = "%%MatrixMarket matrix coordinate real symmetric\n\
+% comment line\n\
+3 3 4\n\
+1 1 2.0\n\
+2 2 2.0\n\
+3 3 2.0\n\
+3 1 -1.0\n";
+
+    #[test]
+    fn parses_symmetric_real() {
+        let m = parse_matrix_market(SYM.as_bytes()).unwrap();
+        assert_eq!(m.nrows, 3);
+        assert_eq!(m.symmetry, MmSymmetry::Symmetric);
+        assert_eq!(m.entries.len(), 4);
+        let a = m.to_sym().unwrap();
+        assert_eq!(a.get(2, 0), -1.0);
+        assert_eq!(a.get(0, 2), -1.0);
+    }
+
+    #[test]
+    fn to_csc_mirrors_symmetric_entries() {
+        let m = parse_matrix_market(SYM.as_bytes()).unwrap();
+        let a = m.to_csc();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 2), -1.0);
+    }
+
+    #[test]
+    fn pattern_files_get_synthesized_values() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+2 2 3\n\
+1 1\n\
+2 1\n\
+2 2\n";
+        let m = parse_matrix_market(src.as_bytes()).unwrap();
+        let a = m.to_sym().unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 0), -0.1);
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let m = parse_matrix_market(SYM.as_bytes()).unwrap();
+        let a = m.to_sym().unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = parse_matrix_market(buf.as_slice()).unwrap().to_sym().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_truncated_and_bad_headers() {
+        assert!(parse_matrix_market("".as_bytes()).is_err());
+        assert!(parse_matrix_market("%%MatrixMarket vector\n".as_bytes()).is_err());
+        let bad = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n";
+        assert!(parse_matrix_market(bad.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(parse_matrix_market(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn symmetric_file_with_upper_entries_folds() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+2 2 3\n\
+1 1 4.0\n\
+1 2 -1.0\n\
+2 2 4.0\n";
+        let m = parse_matrix_market(src.as_bytes()).unwrap();
+        let a = m.to_sym().unwrap();
+        assert_eq!(a.get(1, 0), -1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # rlchol-sparse — sparse matrix substrate
+//!
+//! Foundation types for the `rlchol` workspace: compressed sparse column
+//! ([`CscMatrix`]) and row ([`CsrMatrix`]) matrices, a coordinate-format
+//! builder ([`TripletMatrix`]), symmetric lower-triangular storage
+//! ([`SymCsc`]) used by the Cholesky pipeline, permutations
+//! ([`Permutation`]), adjacency graphs ([`Graph`]) and Matrix Market I/O.
+//!
+//! Everything in the factorization stack — ordering, symbolic analysis and
+//! numeric factorization — consumes [`SymCsc`]: the lower triangle
+//! (including the diagonal) of a symmetric positive definite matrix with
+//! row indices sorted within each column.
+//!
+//! ```
+//! use rlchol_sparse::{TripletMatrix, SymCsc};
+//!
+//! // 3x3 SPD tridiagonal matrix, lower triangle.
+//! let mut t = TripletMatrix::new(3, 3);
+//! t.push(0, 0, 2.0);
+//! t.push(1, 0, -1.0);
+//! t.push(1, 1, 2.0);
+//! t.push(2, 1, -1.0);
+//! t.push(2, 2, 2.0);
+//! let a = SymCsc::from_lower_triplets(&t).unwrap();
+//! assert_eq!(a.n(), 3);
+//! assert_eq!(a.nnz_lower(), 5);
+//! ```
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod perm;
+pub mod sym;
+pub mod vecops;
+
+pub use coo::TripletMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use graph::Graph;
+pub use io::{read_matrix_market, write_matrix_market};
+pub use perm::Permutation;
+pub use sym::SymCsc;

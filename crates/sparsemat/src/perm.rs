@@ -1,0 +1,195 @@
+//! Permutations and symmetric permutation of sparse matrices.
+
+use crate::error::SparseError;
+
+/// A permutation of `0..n`, stored with both directions for O(1) queries.
+///
+/// Conventions: `old_of(new)` maps a *new* (post-permutation) index to the
+/// *old* index it came from, and `new_of(old)` is its inverse. Applying a
+/// fill-reducing ordering produces `PAPᵀ` where
+/// `(PAPᵀ)[i, j] = A[old_of(i), old_of(j)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `old_of[new] = old`
+    old_of: Vec<usize>,
+    /// `new_of[old] = new`
+    new_of: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<usize> = (0..n).collect();
+        Permutation {
+            old_of: v.clone(),
+            new_of: v,
+        }
+    }
+
+    /// Builds from an `old_of` vector (`old_of[new] = old`), validating
+    /// that it is a bijection on `0..n`.
+    pub fn from_old_of(old_of: Vec<usize>) -> Result<Self, SparseError> {
+        let n = old_of.len();
+        let mut new_of = vec![usize::MAX; n];
+        for (new, &old) in old_of.iter().enumerate() {
+            if old >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "index {old} out of range for n = {n}"
+                )));
+            }
+            if new_of[old] != usize::MAX {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "index {old} appears twice"
+                )));
+            }
+            new_of[old] = new;
+        }
+        Ok(Permutation { old_of, new_of })
+    }
+
+    /// Builds from a `new_of` vector (`new_of[old] = new`).
+    pub fn from_new_of(new_of: Vec<usize>) -> Result<Self, SparseError> {
+        let p = Self::from_old_of(new_of)?;
+        Ok(p.inverse())
+    }
+
+    /// Size of the permuted index set.
+    pub fn len(&self) -> usize {
+        self.old_of.len()
+    }
+
+    /// True when the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.old_of.is_empty()
+    }
+
+    /// Old index corresponding to `new`.
+    #[inline]
+    pub fn old_of(&self, new: usize) -> usize {
+        self.old_of[new]
+    }
+
+    /// New index corresponding to `old`.
+    #[inline]
+    pub fn new_of(&self, old: usize) -> usize {
+        self.new_of[old]
+    }
+
+    /// The full `old_of` vector.
+    pub fn old_of_slice(&self) -> &[usize] {
+        &self.old_of
+    }
+
+    /// The full `new_of` vector.
+    pub fn new_of_slice(&self) -> &[usize] {
+        &self.new_of
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            old_of: self.new_of.clone(),
+            new_of: self.old_of.clone(),
+        }
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    ///
+    /// With orderings this means: `other` renumbers original→intermediate,
+    /// `self` renumbers intermediate→final, and the result renumbers
+    /// original→final.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        let old_of: Vec<usize> = (0..self.len())
+            .map(|newest| other.old_of(self.old_of(newest)))
+            .collect();
+        Permutation {
+            new_of: {
+                let mut inv = vec![0usize; old_of.len()];
+                for (new, &old) in old_of.iter().enumerate() {
+                    inv[old] = new;
+                }
+                inv
+            },
+            old_of,
+        }
+    }
+
+    /// Gathers `x` into new order: `out[new] = x[old_of(new)]`.
+    pub fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len());
+        self.old_of.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Scatters `x` back to old order: `out[old_of(new)] = x[new]`.
+    pub fn apply_inv_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len());
+        let mut out = vec![0.0; x.len()];
+        for (new, &old) in self.old_of.iter().enumerate() {
+            out[old] = x[new];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_self_inverse() {
+        let p = Permutation::identity(5);
+        assert_eq!(p, p.inverse());
+        assert_eq!(p.old_of(3), 3);
+    }
+
+    #[test]
+    fn from_old_of_validates() {
+        assert!(Permutation::from_old_of(vec![0, 1, 1]).is_err());
+        assert!(Permutation::from_old_of(vec![0, 3]).is_err());
+        let p = Permutation::from_old_of(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.new_of(2), 0);
+        assert_eq!(p.new_of(0), 1);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = Permutation::from_old_of(vec![3, 1, 0, 2]).unwrap();
+        let q = p.inverse();
+        for i in 0..4 {
+            // Inversion swaps the two directions.
+            assert_eq!(q.old_of(i), p.new_of(i));
+            assert_eq!(q.new_of(i), p.old_of(i));
+            // And the fundamental round-trip identities hold.
+            assert_eq!(p.old_of(p.new_of(i)), i);
+            assert_eq!(p.new_of(p.old_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn apply_and_unapply_vec() {
+        let p = Permutation::from_old_of(vec![2, 0, 1]).unwrap();
+        let x = [10.0, 20.0, 30.0];
+        let y = p.apply_vec(&x);
+        assert_eq!(y, vec![30.0, 10.0, 20.0]);
+        assert_eq!(p.apply_inv_vec(&y), x.to_vec());
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let p1 = Permutation::from_old_of(vec![1, 2, 0]).unwrap(); // original -> intermediate
+        let p2 = Permutation::from_old_of(vec![2, 1, 0]).unwrap(); // intermediate -> final
+        let c = p2.compose(&p1);
+        let x = [1.0, 2.0, 3.0];
+        let via_steps = p2.apply_vec(&p1.apply_vec(&x));
+        assert_eq!(c.apply_vec(&x), via_steps);
+    }
+
+    #[test]
+    fn from_new_of_matches_inverse_construction() {
+        let p = Permutation::from_new_of(vec![1, 2, 0]).unwrap();
+        assert_eq!(p.new_of(0), 1);
+        assert_eq!(p.new_of(1), 2);
+        assert_eq!(p.old_of(0), 2);
+    }
+}

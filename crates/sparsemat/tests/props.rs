@@ -1,0 +1,156 @@
+//! Property-based tests of the sparse substrate.
+
+use proptest::prelude::*;
+use rlchol_sparse::{CscMatrix, Permutation, SymCsc, TripletMatrix};
+
+/// Strategy for a random permutation of 1..=n elements.
+fn arb_perm(max_n: usize) -> impl Strategy<Value = Permutation> {
+    (1..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        // Fisher-Yates with a deterministic xorshift stream.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() as usize) % (i + 1);
+            v.swap(i, j);
+        }
+        Permutation::from_old_of(v).unwrap()
+    })
+}
+
+/// Strategy for a random symmetric SPD-patterned matrix.
+fn arb_sym(max_n: usize) -> impl Strategy<Value = SymCsc> {
+    (2..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 4.0 + (next() % 8) as f64);
+        }
+        for _ in 0..2 * n {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                t.push(a.max(b), a.min(b), -0.25);
+            }
+        }
+        SymCsc::from_lower_triplets(&t).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permutation_inverse_roundtrip(p in arb_perm(60)) {
+        let q = p.inverse();
+        for i in 0..p.len() {
+            prop_assert_eq!(p.old_of(p.new_of(i)), i);
+            prop_assert_eq!(q.new_of(i), p.old_of(i));
+        }
+        let x: Vec<f64> = (0..p.len()).map(|i| i as f64).collect();
+        prop_assert_eq!(p.apply_inv_vec(&p.apply_vec(&x)), x);
+    }
+
+    #[test]
+    fn compose_is_associative_on_vectors(
+        n in 1usize..24, s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()
+    ) {
+        let mk = |seed: u64| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut v: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = (next() as usize) % (i + 1);
+                v.swap(i, j);
+            }
+            Permutation::from_old_of(v).unwrap()
+        };
+        let (p1, p2, p3) = (mk(s1), mk(s2), mk(s3));
+        let x: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        let left = p3.compose(&p2).compose(&p1);
+        let right = p3.compose(&p2.compose(&p1));
+        prop_assert_eq!(left.apply_vec(&x), right.apply_vec(&x));
+    }
+
+    #[test]
+    fn symmetric_permute_preserves_spectrum_proxy(a in arb_sym(40)) {
+        // Frobenius norm and diagonal multiset are invariant under PAPᵀ.
+        let n = a.n();
+        let old_of: Vec<usize> = (0..n).rev().collect();
+        let p = Permutation::from_old_of(old_of).unwrap();
+        let b = a.permute(&p);
+        prop_assert!((a.norm_fro() - b.norm_fro()).abs() < 1e-9);
+        let mut da = a.diag();
+        let mut db = b.diag();
+        da.sort_by(f64::total_cmp);
+        db.sort_by(f64::total_cmp);
+        prop_assert_eq!(da, db);
+    }
+
+    #[test]
+    fn csc_transpose_involution(a in arb_sym(40)) {
+        let full = a.to_full_csc();
+        prop_assert_eq!(full.transpose().transpose(), full.clone());
+        // Symmetric: A == Aᵀ.
+        prop_assert_eq!(full.transpose(), full);
+    }
+
+    #[test]
+    fn matvec_linear(a in arb_sym(30)) {
+        let n = a.n();
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 3) % 5) as f64).collect();
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(&p, &q)| p + 2.0 * q).collect();
+        let mut ax = vec![0.0; n];
+        let mut ay = vec![0.0; n];
+        let mut axy = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        a.matvec(&y, &mut ay);
+        a.matvec(&xy, &mut axy);
+        for i in 0..n {
+            prop_assert!((axy[i] - ax[i] - 2.0 * ay[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn triplet_compress_matches_get(seed in any::<u64>(), n in 2usize..20) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = TripletMatrix::new(n, n);
+        let mut dense = vec![0.0f64; n * n];
+        for _ in 0..3 * n {
+            let i = (next() as usize) % n;
+            let j = (next() as usize) % n;
+            let v = ((next() % 100) as f64) / 10.0 - 5.0;
+            t.push(i, j, v);
+            dense[j * n + i] += v;
+        }
+        let a = CscMatrix::from_triplets(&t);
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!((a.get(i, j) - dense[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Elimination trees and postorderings.
+//!
+//! The elimination tree (Liu, *The role of elimination trees in sparse
+//! factorization*, 1990) has `parent(j) = min { i > j : L[i,j] != 0 }`.
+//! It is computed directly from `A`'s lower-triangular pattern with the
+//! classic path-compression algorithm, without forming `L`.
+
+use crate::NONE;
+use rlchol_sparse::SymCsc;
+
+/// The elimination tree of a symmetric matrix, with derived orderings.
+#[derive(Debug, Clone)]
+pub struct EliminationTree {
+    /// `parent[j]` is the etree parent of column `j`, or [`NONE`] for roots.
+    pub parent: Vec<usize>,
+}
+
+impl EliminationTree {
+    /// Computes the elimination tree from the lower-triangular pattern.
+    pub fn from_matrix(a: &SymCsc) -> Self {
+        let n = a.n();
+        let mut parent = vec![NONE; n];
+        // ancestor[j]: path-compressed ancestor pointer.
+        let mut ancestor = vec![NONE; n];
+        // Iterate rows of the strict upper triangle of A, i.e. for each
+        // column k of the lower triangle, each off-diagonal row i gives an
+        // entry (k, i) in row i's pattern with k < i. Processing columns
+        // in order visits each row's entries in increasing column order,
+        // which is exactly what the algorithm needs when driven per entry.
+        //
+        // Classic formulation: for i in 0..n, for each k < i with
+        // A[i,k] != 0, walk k's ancestor chain up to i. We realize the
+        // traversal row-wise by first building row lists of the strict
+        // lower triangle.
+        let (rowptr, colind) = strict_lower_rows(a);
+        for i in 0..n {
+            for &k in &colind[rowptr[i]..rowptr[i + 1]] {
+                // Walk from k towards the root, compressing onto i.
+                let mut j = k;
+                while j != NONE && j < i {
+                    let next = ancestor[j];
+                    ancestor[j] = i;
+                    if next == NONE {
+                        parent[j] = i;
+                    }
+                    j = next;
+                }
+            }
+        }
+        EliminationTree { parent }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Children lists, each sorted increasing.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.n()];
+        for (j, &p) in self.parent.iter().enumerate() {
+            if p != NONE {
+                ch[p].push(j);
+            }
+        }
+        ch
+    }
+
+    /// Number of children per vertex.
+    pub fn child_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.n()];
+        for &p in &self.parent {
+            if p != NONE {
+                c[p] += 1;
+            }
+        }
+        c
+    }
+
+    /// A postordering of the forest: returns `post` with `post[k]` = the
+    /// vertex in position `k`. Children are visited in increasing order,
+    /// so an already-postordered tree yields the identity.
+    pub fn postorder(&self) -> Vec<usize> {
+        let n = self.n();
+        let children = self.children();
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS; push children in reverse so the smallest is
+        // processed first.
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+        for r in 0..n {
+            if self.parent[r] != NONE {
+                continue;
+            }
+            stack.push((r, false));
+            while let Some((v, expanded)) = stack.pop() {
+                if expanded {
+                    post.push(v);
+                } else {
+                    stack.push((v, true));
+                    for &c in children[v].iter().rev() {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(post.len(), n);
+        post
+    }
+
+    /// True if `post` is a valid postordering of this forest: every vertex
+    /// appears once and each parent appears after all vertices of its
+    /// subtree.
+    pub fn is_postorder(&self, post: &[usize]) -> bool {
+        let n = self.n();
+        if post.len() != n {
+            return false;
+        }
+        let mut pos = vec![NONE; n];
+        for (k, &v) in post.iter().enumerate() {
+            if v >= n || pos[v] != NONE {
+                return false;
+            }
+            pos[v] = k;
+        }
+        // Parents must come after children, and every subtree must occupy
+        // a contiguous position interval ending at its root's position.
+        // Processing vertices in position order lets each vertex fold its
+        // (already-final) subtree size and minimum position into its
+        // parent before the parent's own turn.
+        let mut size = vec![1usize; n];
+        let mut minpos: Vec<usize> = (0..n).map(|v| pos[v]).collect();
+        for &v in post {
+            if pos[v] + 1 < size[v] || pos[v] + 1 - size[v] != minpos[v] {
+                return false; // subtree positions not a contiguous block
+            }
+            let p = self.parent[v];
+            if p != NONE {
+                if pos[p] < pos[v] {
+                    return false;
+                }
+                size[p] += size[v];
+                minpos[p] = minpos[p].min(minpos[v]);
+            }
+        }
+        true
+    }
+
+    /// Relabels the tree under a permutation given as `old_of[new] = old`
+    /// (typically a postorder). Returns the parent array in new labels.
+    pub fn relabel(&self, old_of: &[usize]) -> Vec<usize> {
+        let n = self.n();
+        let mut new_of = vec![NONE; n];
+        for (new, &old) in old_of.iter().enumerate() {
+            new_of[old] = new;
+        }
+        let mut parent = vec![NONE; n];
+        for new in 0..n {
+            let old = old_of[new];
+            let p = self.parent[old];
+            parent[new] = if p == NONE { NONE } else { new_of[p] };
+        }
+        parent
+    }
+
+    /// Depth of each vertex (roots have depth 0). Useful for tests.
+    pub fn depths(&self) -> Vec<usize> {
+        let n = self.n();
+        let mut depth = vec![NONE; n];
+        for mut v in 0..n {
+            let mut path = Vec::new();
+            while depth[v] == NONE {
+                path.push(v);
+                if self.parent[v] == NONE {
+                    depth[v] = 0;
+                    break;
+                }
+                v = self.parent[v];
+            }
+            let mut d = depth[v];
+            for &u in path.iter().rev() {
+                if depth[u] == NONE {
+                    d += 1;
+                    depth[u] = d;
+                } else {
+                    d = depth[u];
+                }
+            }
+        }
+        depth
+    }
+}
+
+/// Row lists of the strict lower triangle: for each row `i`, the columns
+/// `k < i` with `A[i,k] != 0`, sorted increasing. Returns `(rowptr, colind)`.
+pub fn strict_lower_rows(a: &SymCsc) -> (Vec<usize>, Vec<usize>) {
+    let n = a.n();
+    let mut counts = vec![0usize; n];
+    for j in 0..n {
+        for &i in &a.col_rows(j)[1..] {
+            counts[i] += 1;
+        }
+    }
+    let mut rowptr = vec![0usize; n + 1];
+    for i in 0..n {
+        rowptr[i + 1] = rowptr[i] + counts[i];
+    }
+    let mut colind = vec![0usize; rowptr[n]];
+    let mut next = rowptr.clone();
+    for j in 0..n {
+        for &i in &a.col_rows(j)[1..] {
+            colind[next[i]] = j;
+            next[i] += 1;
+        }
+    }
+    (rowptr, colind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlchol_sparse::TripletMatrix;
+
+    /// Builds a SymCsc from strict-lower edges plus unit diagonal.
+    fn sym_from_edges(n: usize, edges: &[(usize, usize)]) -> SymCsc {
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 4.0);
+        }
+        for &(i, j) in edges {
+            assert!(i > j);
+            t.push(i, j, -1.0);
+        }
+        SymCsc::from_lower_triplets(&t).unwrap()
+    }
+
+    #[test]
+    fn tridiagonal_tree_is_a_path() {
+        let a = sym_from_edges(5, &[(1, 0), (2, 1), (3, 2), (4, 3)]);
+        let t = EliminationTree::from_matrix(&a);
+        assert_eq!(t.parent, vec![1, 2, 3, 4, NONE]);
+    }
+
+    #[test]
+    fn arrow_matrix_tree_is_a_star_through_fill() {
+        // Arrow pointing at the last column: every column connects to n-1,
+        // no fill; parents all n-1.
+        let a = sym_from_edges(4, &[(3, 0), (3, 1), (3, 2)]);
+        let t = EliminationTree::from_matrix(&a);
+        assert_eq!(t.parent, vec![3, 3, 3, NONE]);
+    }
+
+    #[test]
+    fn fill_creates_paths() {
+        // Columns 0-1 connected, 0-2 connected: eliminating 0 fills (2,1),
+        // so parent(1) = 2 even though A[2,1] = 0.
+        let a = sym_from_edges(3, &[(1, 0), (2, 0)]);
+        let t = EliminationTree::from_matrix(&a);
+        assert_eq!(t.parent, vec![1, 2, NONE]);
+    }
+
+    #[test]
+    fn known_liu_example() {
+        // The 15x15 example of the paper (Fig. 1) exercised in the
+        // integration tests; here a small handmade case:
+        // A with edges (2,0), (3,1), (4,2), (4,3).
+        let a = sym_from_edges(5, &[(2, 0), (3, 1), (4, 2), (4, 3)]);
+        let t = EliminationTree::from_matrix(&a);
+        assert_eq!(t.parent, vec![2, 3, 4, 4, NONE]);
+    }
+
+    #[test]
+    fn postorder_is_valid_on_branching_tree() {
+        let a = sym_from_edges(5, &[(2, 0), (3, 1), (4, 2), (4, 3)]);
+        let t = EliminationTree::from_matrix(&a);
+        let post = t.postorder();
+        assert!(t.is_postorder(&post));
+        // Subtrees {0,2} and {1,3} are kept contiguous.
+        assert_eq!(post, vec![0, 2, 1, 3, 4]);
+        // The identity interleaves the two subtrees, so it is NOT a
+        // postorder of this tree even though parents follow children.
+        assert!(!t.is_postorder(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn postorder_is_identity_on_chains() {
+        let a = sym_from_edges(4, &[(1, 0), (2, 1), (3, 2)]);
+        let t = EliminationTree::from_matrix(&a);
+        let post = t.postorder();
+        assert!(t.is_postorder(&post));
+        assert_eq!(post, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn postorder_handles_forests() {
+        // Two disconnected components.
+        let a = sym_from_edges(4, &[(1, 0), (3, 2)]);
+        let t = EliminationTree::from_matrix(&a);
+        let post = t.postorder();
+        assert!(t.is_postorder(&post));
+        assert_eq!(post.len(), 4);
+    }
+
+    #[test]
+    fn is_postorder_rejects_bad_orders() {
+        let a = sym_from_edges(3, &[(1, 0), (2, 1)]);
+        let t = EliminationTree::from_matrix(&a);
+        assert!(!t.is_postorder(&[2, 1, 0])); // parent before child
+        assert!(!t.is_postorder(&[0, 0, 1])); // duplicate
+        assert!(!t.is_postorder(&[0, 1])); // wrong length
+    }
+
+    #[test]
+    fn relabel_by_postorder_yields_monotone_parents() {
+        // Build a tree that is NOT postordered: edges force parent(0)=2,
+        // parent(2)=... scramble by using edges (2,0),(2,1) then (3,2) etc.
+        let a = sym_from_edges(5, &[(4, 0), (2, 1), (4, 2), (3, 0)]);
+        let t = EliminationTree::from_matrix(&a);
+        let post = t.postorder();
+        let newpar = t.relabel(&post);
+        for (j, &p) in newpar.iter().enumerate() {
+            if p != NONE {
+                assert!(p > j, "parent {p} not after child {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn depths_consistent_with_parents() {
+        let a = sym_from_edges(5, &[(2, 0), (3, 1), (4, 2), (4, 3)]);
+        let t = EliminationTree::from_matrix(&a);
+        let d = t.depths();
+        for j in 0..5 {
+            if t.parent[j] != NONE {
+                assert_eq!(d[j], d[t.parent[j]] + 1);
+            }
+        }
+        assert_eq!(d[4], 0);
+    }
+
+    #[test]
+    fn strict_lower_rows_inverts_columns() {
+        let a = sym_from_edges(4, &[(1, 0), (3, 0), (3, 2)]);
+        let (rowptr, colind) = strict_lower_rows(&a);
+        assert_eq!(&colind[rowptr[3]..rowptr[4]], &[0, 2]);
+        assert_eq!(&colind[rowptr[1]..rowptr[2]], &[0]);
+        assert_eq!(rowptr[1], rowptr[0]); // row 0 empty
+    }
+}

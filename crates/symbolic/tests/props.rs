@@ -1,0 +1,134 @@
+//! Property-based tests of the symbolic machinery.
+
+use proptest::prelude::*;
+use rlchol_sparse::{SymCsc, TripletMatrix};
+use rlchol_symbolic::colcount::{col_counts, col_counts_reference};
+use rlchol_symbolic::etree::EliminationTree;
+use rlchol_symbolic::relind::relative_indices;
+use rlchol_symbolic::supernodes::{check_against_counts, find_supernodes, supernode_rows};
+use rlchol_symbolic::{analyze, SymbolicOptions, NONE};
+
+fn arb_sym(max_n: usize) -> impl Strategy<Value = SymCsc> {
+    (3..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 8.0);
+        }
+        // Connected path + random extras.
+        for i in 1..n {
+            t.push(i, (next() as usize) % i, -0.5);
+        }
+        for _ in 0..n {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                t.push(a.max(b), a.min(b), -0.25);
+            }
+        }
+        SymCsc::from_lower_triplets(&t).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn etree_parents_are_above(a in arb_sym(48)) {
+        let t = EliminationTree::from_matrix(&a);
+        for (j, &p) in t.parent.iter().enumerate() {
+            prop_assert!(p == NONE || p > j);
+        }
+        let post = t.postorder();
+        prop_assert!(t.is_postorder(&post));
+    }
+
+    #[test]
+    fn counts_match_reference(a in arb_sym(48)) {
+        let t = EliminationTree::from_matrix(&a);
+        prop_assert_eq!(col_counts(&a, &t), col_counts_reference(&a, &t));
+    }
+
+    #[test]
+    fn supernode_structures_consistent_after_postorder(a in arb_sym(40)) {
+        // Postorder first (supernode detection expects postordered input
+        // for maximality, and rows computation for contiguity).
+        let t0 = EliminationTree::from_matrix(&a);
+        let p = rlchol_sparse::Permutation::from_old_of(t0.postorder()).unwrap();
+        let ap = a.permute(&p);
+        let t = EliminationTree::from_matrix(&ap);
+        let counts = col_counts(&ap, &t);
+        for fundamental in [false, true] {
+            let sn = find_supernodes(&t, &counts, fundamental);
+            let rows = supernode_rows(&ap, &sn);
+            prop_assert_eq!(check_against_counts(&sn, &rows, &counts), None);
+        }
+    }
+
+    #[test]
+    fn fundamental_refines_maximal(a in arb_sym(40)) {
+        let t0 = EliminationTree::from_matrix(&a);
+        let p = rlchol_sparse::Permutation::from_old_of(t0.postorder()).unwrap();
+        let ap = a.permute(&p);
+        let t = EliminationTree::from_matrix(&ap);
+        let counts = col_counts(&ap, &t);
+        let coarse = find_supernodes(&t, &counts, false);
+        let fine = find_supernodes(&t, &counts, true);
+        prop_assert!(fine.nsup() >= coarse.nsup());
+        for &b in &coarse.sn_start {
+            prop_assert!(fine.sn_start.contains(&b));
+        }
+    }
+
+    #[test]
+    fn analyze_invariants_and_relind_coverage(a in arb_sym(36)) {
+        let sym = analyze(&a, &SymbolicOptions::default());
+        sym.validate().unwrap();
+        // Every supernode's full row tail must locate inside each target
+        // ancestor's index list (the assembly invariant).
+        for s in 0..sym.nsup() {
+            let rows = &sym.rows[s];
+            let mut k = 0;
+            while k < rows.len() {
+                let target = sym.sn.col_to_sn[rows[k]];
+                let end = sym.sn.end_col(target);
+                let hi = rows.partition_point(|&r| r < end);
+                let rel = relative_indices(
+                    &rows[k..],
+                    sym.sn.first_col(target),
+                    sym.sn_ncols(target),
+                    &sym.rows[target],
+                );
+                // Positions are strictly increasing and within bounds.
+                let len = sym.sn_len(target);
+                for w in rel.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+                for &r in &rel {
+                    prop_assert!(r < len);
+                }
+                k = hi;
+            }
+        }
+    }
+
+    #[test]
+    fn merge_never_loses_columns(a in arb_sym(36)) {
+        for cap in [0.0, 0.25, 2.0] {
+            let sym = analyze(&a, &SymbolicOptions {
+                merge: true,
+                merge_growth_cap: cap,
+                partition_refine: false,
+                ..SymbolicOptions::default()
+            });
+            prop_assert_eq!(sym.sn.n(), a.n());
+            sym.validate().unwrap();
+        }
+    }
+}

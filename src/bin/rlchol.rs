@@ -1,0 +1,169 @@
+//! `rlchol` — command-line driver for the factorization pipeline.
+//!
+//! ```text
+//! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural]
+//! rlchol factor  <matrix.mtx> [--method rl|rlb|ll|mf|rl-gpu|rlb-gpu] [--ordering ...]
+//! rlchol solve   <matrix.mtx> [--method ...]   # b = A·1, reports errors
+//! rlchol spy     <matrix.mtx> [--size N]       # ASCII sparsity plot
+//! ```
+//!
+//! Matrices are Matrix Market files (`coordinate real|pattern`,
+//! `symmetric` or `general` holding a symmetric matrix).
+
+use rlchol::core::engine::{GpuOptions, Method};
+use rlchol::perfmodel::MachineModel;
+use rlchol::report::spy_lower;
+use rlchol::sparse::read_matrix_market;
+use rlchol::{CholeskySolver, OrderingMethod, SolverOptions, SymCsc};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
+         [--method rl|rlb|ll|mf|rl-gpu|rlb-gpu] [--ordering nd|md|rcm|natural] [--size N]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    path: String,
+    method: Method,
+    ordering: OrderingMethod,
+    size: usize,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let cmd = it.next().unwrap_or_else(|| usage());
+    let path = it.next().unwrap_or_else(|| usage());
+    let mut method = Method::RlCpu;
+    let mut ordering = OrderingMethod::NestedDissection;
+    let mut size = 40usize;
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--method" => {
+                method = match value.as_str() {
+                    "rl" => Method::RlCpu,
+                    "rlb" => Method::RlbCpu,
+                    "ll" => Method::LlCpu,
+                    "mf" => Method::MfCpu,
+                    "rl-gpu" => Method::RlGpu,
+                    "rlb-gpu" => Method::RlbGpuV2,
+                    _ => usage(),
+                }
+            }
+            "--ordering" => {
+                ordering = match value.as_str() {
+                    "nd" => OrderingMethod::NestedDissection,
+                    "md" => OrderingMethod::MinDegree,
+                    "rcm" => OrderingMethod::Rcm,
+                    "natural" => OrderingMethod::Natural,
+                    _ => usage(),
+                }
+            }
+            "--size" => size = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    Args {
+        cmd,
+        path,
+        method,
+        ordering,
+        size,
+    }
+}
+
+fn load(path: &str) -> SymCsc {
+    match read_matrix_market(path).and_then(|m| m.to_sym()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rlchol: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn solver_options(args: &Args) -> SolverOptions {
+    SolverOptions {
+        ordering: args.ordering,
+        method: args.method,
+        gpu: GpuOptions {
+            machine: MachineModel::perlmutter(64).scale_compute(24.0),
+            threshold: 12_000,
+            overlap: true,
+        },
+        ..SolverOptions::default()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let a = load(&args.path);
+    println!("matrix: n = {}, nnz(lower) = {}", a.n(), a.nnz_lower());
+    match args.cmd.as_str() {
+        "spy" => {
+            println!("{}", spy_lower(a.n(), args.size, |j| a.col_rows(j).to_vec()));
+        }
+        "analyze" => {
+            let t0 = std::time::Instant::now();
+            let solver = CholeskySolver::factor(&a, &solver_options(&args))
+                .unwrap_or_else(|e| fail(e));
+            let sym = solver.symbolic();
+            println!("ordering: {:?}", args.ordering);
+            println!("supernodes: {}", sym.nsup());
+            println!("nnz(L): {}", sym.nnz);
+            println!("factor flops: {:.3} Gflop", sym.flops / 1e9);
+            println!(
+                "merging: {} merges (+{} entries); PR blocks {} -> {}",
+                sym.stats.merges,
+                sym.stats.merge_extra_fill,
+                sym.stats.blocks_before_pr,
+                sym.stats.blocks_after_pr
+            );
+            println!(
+                "largest supernode: {} entries; largest update matrix: {} entries",
+                (0..sym.nsup()).map(|s| sym.sn_storage(s)).max().unwrap_or(0),
+                sym.max_update_matrix_entries()
+            );
+            println!("wall time (incl. numeric factor): {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+        "factor" => {
+            let t0 = std::time::Instant::now();
+            let solver = CholeskySolver::factor(&a, &solver_options(&args))
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "factored with {} in {:.1} ms (nnz(L) = {})",
+                args.method.label(),
+                t0.elapsed().as_secs_f64() * 1e3,
+                solver.factor_nnz()
+            );
+            if let Some(sim) = solver.sim_seconds {
+                println!(
+                    "simulated platform time: {sim:.4} s ({} supernodes on GPU)",
+                    solver.sn_on_gpu
+                );
+            }
+        }
+        "solve" => {
+            let solver = CholeskySolver::factor(&a, &solver_options(&args))
+                .unwrap_or_else(|e| fail(e));
+            // Manufactured b = A · 1.
+            let ones = vec![1.0; a.n()];
+            let mut b = vec![0.0; a.n()];
+            a.matvec(&ones, &mut b);
+            let (x, resid) = solver.solve_refined(&a, &b, 2);
+            let err = x
+                .iter()
+                .fold(0.0f64, |m, &v| m.max((v - 1.0).abs()));
+            println!("solve: max |x - 1| = {err:.3e}, refined residual = {resid:.3e}");
+        }
+        _ => usage(),
+    }
+}
+
+fn fail(e: rlchol::FactorError) -> ! {
+    eprintln!("rlchol: factorization failed: {e}");
+    std::process::exit(1);
+}

@@ -1,0 +1,62 @@
+//! # rlchol — GPU-accelerated right-looking sparse Cholesky factorization
+//!
+//! A from-scratch Rust reproduction of *"GPU Accelerated Sparse Cholesky
+//! Factorization"* (Karsavuran, Ng, Peyton — SC 2024, arXiv:2409.14009):
+//! serial right-looking supernodal Cholesky in the paper's two variants
+//! (**RL** with one coarse update matrix per supernode, **RLB** with
+//! per-row-block updates), CPU-only and GPU-accelerated, on top of a
+//! fully self-contained stack — sparse matrix types, fill-reducing
+//! orderings, symbolic analysis with supernode amalgamation and partition
+//! refinement, dense BLAS kernels, and a simulated GPU runtime with a
+//! calibrated performance model (see `DESIGN.md` for the substitution
+//! policy that replaces the paper's A100).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rlchol::{CholeskySolver, SolverOptions};
+//! use rlchol::matgen::laplace3d;
+//!
+//! // A small 3-D Poisson-like SPD system.
+//! let a = laplace3d(6, 42);
+//! let solver = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+//!
+//! let b = vec![1.0; a.n()];
+//! let x = solver.solve(&b);
+//!
+//! // Check the residual of A x = b.
+//! let mut ax = vec![0.0; a.n()];
+//! a.matvec(&x, &mut ax);
+//! let err = ax.iter().zip(&b).fold(0.0f64, |m, (&p, &q)| m.max((p - q).abs()));
+//! assert!(err < 1e-8);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`sparse`] | CSC/CSR/COO, symmetric storage, permutations, Matrix Market I/O |
+//! | [`ordering`] | nested dissection, minimum degree, RCM |
+//! | [`symbolic`] | etree, column counts, supernodes, merging, partition refinement |
+//! | [`dense`] | GEMM/SYRK/TRSM/POTRF kernels |
+//! | [`gpu`] | the simulated GPU runtime (streams, events, device memory) |
+//! | [`perfmodel`] | calibrated CPU/GPU cost models and traces |
+//! | [`matgen`] | SPD generators and the paper's 21-matrix synthetic suite |
+//! | [`core`] | the RL/RLB engines, hybrid dispatch, solves, [`CholeskySolver`] |
+//! | [`report`] | performance profiles, tables, plots |
+
+pub use rlchol_core as core;
+pub use rlchol_dense as dense;
+pub use rlchol_gpu as gpu;
+pub use rlchol_matgen as matgen;
+pub use rlchol_ordering as ordering;
+pub use rlchol_perfmodel as perfmodel;
+pub use rlchol_report as report;
+pub use rlchol_sparse as sparse;
+pub use rlchol_symbolic as symbolic;
+
+pub use rlchol_core::engine::{GpuOptions, Method};
+pub use rlchol_core::{CholeskySolver, FactorError, SolverOptions};
+pub use rlchol_ordering::OrderingMethod;
+pub use rlchol_sparse::{SymCsc, TripletMatrix};
+pub use rlchol_symbolic::{SymbolicFactor, SymbolicOptions};

@@ -1,0 +1,122 @@
+//! Property-based tests over the whole stack: random SPD matrices through
+//! ordering, symbolic analysis and numeric factorization.
+
+use proptest::prelude::*;
+use rlchol::core::engine::Method;
+use rlchol::sparse::{Permutation, SymCsc, TripletMatrix};
+use rlchol::symbolic::{analyze, SymbolicOptions};
+use rlchol::{CholeskySolver, SolverOptions};
+
+/// Strategy: a connected random SPD matrix of dimension 2..40.
+fn arb_spd() -> impl Strategy<Value = SymCsc> {
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        // Deterministic xorshift edges: a spanning path plus extras.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = TripletMatrix::new(n, n);
+        let mut diag = vec![1.0f64; n];
+        let mut add_edge = |t: &mut TripletMatrix, diag: &mut Vec<f64>, i: usize, j: usize| {
+            if i == j {
+                return;
+            }
+            let (r, c) = (i.max(j), i.min(j));
+            let v = -0.5;
+            t.push(r, c, v);
+            diag[r] += 0.5;
+            diag[c] += 0.5;
+        };
+        for i in 1..n {
+            add_edge(&mut t, &mut diag, i, (next() as usize) % i);
+        }
+        for _ in 0..n {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            add_edge(&mut t, &mut diag, a, b);
+        }
+        for (j, &d) in diag.iter().enumerate() {
+            t.push(j, j, d + 0.25);
+        }
+        SymCsc::from_lower_triplets(&t).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_inverts_matvec(a in arb_spd()) {
+        let solver = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+        let n = a.n();
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        a.matvec(&x_true, &mut b);
+        let x = solver.solve(&b);
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-7,
+                "entry {} off by {}", i, (x[i] - x_true[i]).abs());
+        }
+    }
+
+    #[test]
+    fn symbolic_structure_invariants(a in arb_spd()) {
+        let sym = analyze(&a, &SymbolicOptions::default());
+        sym.validate().unwrap();
+        // Permutation is a bijection and the partition covers all columns.
+        prop_assert_eq!(sym.perm.len(), a.n());
+        prop_assert_eq!(sym.sn.n(), a.n());
+        // Factor nnz is at least A's lower nnz (no lost entries).
+        prop_assert!(sym.nnz >= a.nnz_lower() as u64);
+        // Block decomposition covers each supernode's rows exactly.
+        for s in 0..sym.nsup() {
+            let covered: usize = sym.blocks[s].iter().map(|b| b.len).sum();
+            prop_assert_eq!(covered, sym.rows[s].len());
+        }
+        // Partition refinement never makes the block structure worse
+        // (the monotonicity guard in rlchol-symbolic::pr).
+        prop_assert!(sym.stats.blocks_after_pr <= sym.stats.blocks_before_pr);
+    }
+
+    #[test]
+    fn merging_respects_cap(a in arb_spd()) {
+        let plain = analyze(&a, &SymbolicOptions {
+            merge: false, partition_refine: false, ..SymbolicOptions::default()
+        });
+        let merged = analyze(&a, &SymbolicOptions {
+            merge: true, merge_growth_cap: 0.25, partition_refine: false,
+            ..SymbolicOptions::default()
+        });
+        prop_assert!(merged.nsup() <= plain.nsup());
+        // Storage growth bounded by the cap (+1 entry of rounding slack).
+        prop_assert!(merged.nnz as f64 <= plain.nnz as f64 * 1.25 + 1.0,
+            "{} vs {}", merged.nnz, plain.nnz);
+    }
+
+    #[test]
+    fn rl_and_rlb_agree(a in arb_spd()) {
+        let mk = |method| {
+            let opts = SolverOptions { method, ..SolverOptions::default() };
+            CholeskySolver::factor(&a, &opts).unwrap()
+        };
+        let rl = mk(Method::RlCpu);
+        let rlb = mk(Method::RlbCpu);
+        let d = rl.factor_data().max_rel_diff(rlb.factor_data());
+        prop_assert!(d < 1e-10, "factors differ by {}", d);
+    }
+
+    #[test]
+    fn permutation_roundtrip(a in arb_spd()) {
+        let sym = analyze(&a, &SymbolicOptions::default());
+        let p: &Permutation = &sym.perm;
+        let ap = a.permute(p);
+        for j in 0..a.n() {
+            prop_assert_eq!(ap.get(p.new_of(j), p.new_of(j)), a.get(j, j));
+        }
+        // Frobenius norm is permutation-invariant.
+        prop_assert!((ap.norm_fro() - a.norm_fro()).abs() < 1e-9);
+    }
+}
