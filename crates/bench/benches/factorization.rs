@@ -29,7 +29,9 @@ fn bench_factorization(c: &mut Criterion) {
 
     g.bench_function("rl_cpu", |b| b.iter(|| factor_rl_cpu(&sym, &a).unwrap()));
     g.bench_function("rlb_cpu", |b| b.iter(|| factor_rlb_cpu(&sym, &a).unwrap()));
-    g.bench_function("simplicial", |b| b.iter(|| simplicial_cholesky(&a).unwrap()));
+    g.bench_function("simplicial", |b| {
+        b.iter(|| simplicial_cholesky(&a).unwrap())
+    });
 
     let opts = GpuOptions {
         machine: MachineModel::perlmutter(64).scale_compute(24.0),

@@ -43,7 +43,8 @@ fn bench_runtime(c: &mut Criterion) {
         let src = vec![0.5f64; n * k];
         gpu.memcpy_h2d(s, a_buf, 0, &src).unwrap();
         b.iter(|| {
-            gpu.syrk(s, a_buf, 0, n, n, k, 1.0, 0.0, c_buf, 0, n).unwrap();
+            gpu.syrk(s, a_buf, 0, n, n, k, 1.0, 0.0, c_buf, 0, n)
+                .unwrap();
         })
     });
 

@@ -13,8 +13,17 @@ use rlchol_report::Table;
 fn main() {
     let cfg = SuiteConfig::default();
     let mut t = Table::new(vec![
-        "Matrix", "n", "nnz(A)", "nsup", "nnz(L)", "Gflop", "max_upd", "RL dev MB",
-        "#>=RLthr", "#>=RLBthr", "bestCPU(s)",
+        "Matrix",
+        "n",
+        "nnz(A)",
+        "nsup",
+        "nnz(L)",
+        "Gflop",
+        "max_upd",
+        "RL dev MB",
+        "#>=RLthr",
+        "#>=RLBthr",
+        "bestCPU(s)",
     ]);
     for entry in paper_suite() {
         let p = prepare(&entry);

@@ -1,0 +1,145 @@
+//! CPU scaling trajectory: real wall-clock of the serial RL/RLB engines
+//! against the task-parallel scheduler over a thread sweep, on the
+//! acceptance matrix `grid3d(40, 40, 40, Star7)`.
+//!
+//! Prints a table and writes `BENCH_cpu_scaling.json` next to the
+//! invocation directory so successive PRs can track the speedup curve.
+//!
+//! Usage: `cpu_scaling [k] [out.json]` — `k` is the grid edge (default
+//! 40; use a smaller k for a quick smoke run).
+
+use rlchol_core::rl::factor_rl_cpu;
+use rlchol_core::rlb::factor_rlb_cpu;
+use rlchol_core::sched::{factor_rl_cpu_par, factor_rlb_cpu_par};
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_ordering::{order, OrderingMethod};
+use rlchol_symbolic::{analyze, SymbolicOptions};
+use std::time::Instant;
+
+// Starts at 2: factor_*_cpu_par delegate to the serial engines at
+// threads <= 1, so a threads=1 row would just re-time the serial
+// baselines and record run-to-run noise as scheduler data.
+const SWEEP: [usize; 3] = [2, 4, 8];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args
+        .next()
+        .map(|v| v.parse().expect("grid edge must be an integer"))
+        .unwrap_or(40);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_cpu_scaling.json".to_string());
+
+    // Give the persistent pool enough lanes for the sweep even when the
+    // machine reports fewer (the submitter still participates, so this
+    // never hurts); an explicit RLCHOL_THREADS wins.
+    if std::env::var("RLCHOL_THREADS").is_err() {
+        std::env::set_var("RLCHOL_THREADS", SWEEP.iter().max().unwrap().to_string());
+    }
+
+    let name = format!("grid3d({k}, {k}, {k}, Star7)");
+    eprintln!("generating {name} ...");
+    let a0 = grid3d(k, k, k, Stencil::Star7, 1, 21);
+    let fill = order(&a0, OrderingMethod::NestedDissection);
+    let af = a0.permute(&fill);
+    let sym = analyze(&af, &SymbolicOptions::default());
+    let a = af.permute(&sym.perm);
+    eprintln!(
+        "n = {}, supernodes = {}, factor nnz = {}, flops = {:.3e}",
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        sym.flops
+    );
+
+    // Min of three runs: the trajectory file feeds cross-PR comparisons,
+    // so a single scheduling hiccup must not masquerade as a regression.
+    let time = |f: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    // Untimed warmup: first touch of the factor storage pages and the
+    // thread-local packing buffers lands outside every measurement.
+    factor_rlb_cpu(&sym, &a).expect("SPD");
+
+    // Serial baselines (the better of the two is the speedup reference,
+    // matching the paper's best-CPU convention).
+    let rl_serial = time(&|| {
+        factor_rl_cpu(&sym, &a).expect("SPD");
+    });
+    let rlb_serial = time(&|| {
+        factor_rlb_cpu(&sym, &a).expect("SPD");
+    });
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>8}",
+        "threads", "RL (s)", "RLB (s)", "RLB x"
+    );
+    println!(
+        "{:>8}  {rl_serial:>10.3}  {rlb_serial:>10.3}  {:>8}",
+        "serial", "1.00"
+    );
+
+    let mut rows = Vec::new();
+    for threads in SWEEP {
+        let rl_par = time(&|| {
+            factor_rl_cpu_par(&sym, &a, threads).expect("SPD");
+        });
+        let rlb_par = time(&|| {
+            factor_rlb_cpu_par(&sym, &a, threads).expect("SPD");
+        });
+        let speedup = rlb_serial / rlb_par;
+        println!("{threads:>8}  {rl_par:>10.3}  {rlb_par:>10.3}  {speedup:>8.2}");
+        rows.push(format!(
+            concat!(
+                "    {{\"threads\": {}, \"rl_par_s\": {:.6}, \"rlb_par_s\": {:.6}, ",
+                "\"rl_speedup\": {:.4}, \"rlb_speedup\": {:.4}}}"
+            ),
+            threads,
+            rl_par,
+            rlb_par,
+            rl_serial / rl_par,
+            speedup,
+        ));
+    }
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"matrix\": \"{}\",\n",
+            "  \"n\": {},\n",
+            "  \"supernodes\": {},\n",
+            "  \"factor_nnz\": {},\n",
+            "  \"flops\": {:.6e},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"rl_serial_s\": {:.6},\n",
+            "  \"rlb_serial_s\": {:.6},\n",
+            "  \"sweep\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        name,
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        sym.flops,
+        hw,
+        rl_serial,
+        rlb_serial,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("writing scaling JSON");
+    eprintln!("wrote {out_path} (hardware threads: {hw})");
+    if hw == 1 {
+        eprintln!(
+            "note: this machine exposes a single hardware thread; \
+             wall-clock speedup is only observable on multicore hosts"
+        );
+    }
+}

@@ -17,12 +17,7 @@ fn main() {
     let cfg = SuiteConfig::default();
     let opts = gpu_options(&cfg, 0); // threshold 0: everything offloaded
     println!("GPU-ONLY runs (all BLAS on device, threshold = 0): speedup vs best CPU\n");
-    let mut t = Table::new(vec![
-        "Matrices",
-        "RL_G",
-        "RLB_G v1",
-        "RLB_G v2",
-    ]);
+    let mut t = Table::new(vec!["Matrices", "RL_G", "RLB_G v1", "RLB_G v2"]);
     let mut slower_count = 0usize;
     let mut total = 0usize;
     let mut highlights: Vec<(String, f64)> = Vec::new();

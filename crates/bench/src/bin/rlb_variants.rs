@@ -34,7 +34,14 @@ fn main() {
         let v1 = match run_gpu(&p, Method::RlbGpuV1, &opts) {
             Ok(r) => r,
             Err(_) => {
-                t.row(vec![entry.name.to_string(), "OOM".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+                t.row(vec![
+                    entry.name.to_string(),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 eprintln!("done {} (v1 OOM)", entry.name);
                 continue;
             }
@@ -50,7 +57,12 @@ fn main() {
         if v2_gain > best_v2_gain.1 {
             best_v2_gain = (entry.name.to_string(), v2_gain);
         }
-        flops.push((entry.name.to_string(), p.sym.flops, v1.sim_seconds, v2.sim_seconds));
+        flops.push((
+            entry.name.to_string(),
+            p.sym.flops,
+            v1.sim_seconds,
+            v2.sim_seconds,
+        ));
         t.row(vec![
             entry.name.to_string(),
             format!("{:.4}", v1.sim_seconds),

@@ -17,9 +17,7 @@ use rlchol_report::Table;
 fn main() {
     let cfg = SuiteConfig::default();
     let opts = gpu_options(&cfg, cfg.rl_threshold);
-    println!(
-        "TABLE I: Runtimes for GPU accelerated RL together with the speedups"
-    );
+    println!("TABLE I: Runtimes for GPU accelerated RL together with the speedups");
     println!(
         "and numbers of supernodes computed on GPU (threshold {} = paper's 600,000 scaled)\n",
         cfg.rl_threshold
@@ -88,14 +86,8 @@ fn main() {
     }
     println!("{}", t.render());
     if let (Some(min), Some(max)) = (
-        speedups
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .cloned(),
-        speedups
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .cloned(),
+        speedups.iter().min_by(|a, b| a.1.total_cmp(&b.1)).cloned(),
+        speedups.iter().max_by(|a, b| a.1.total_cmp(&b.1)).cloned(),
     ) {
         println!(
             "min speedup {:.2} on {} (paper: 1.31 on Flan_1565); max {:.2} on {} (paper: 4.47 on Bump_2911)",

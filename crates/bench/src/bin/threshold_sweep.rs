@@ -27,15 +27,13 @@ fn main() {
         usize::MAX,
     ];
     println!("Threshold sweep: GPU-accelerated runtime (s) vs offload threshold");
-    println!("(suite thresholds: RL {} / RLB {}; MAX = CPU only)\n", cfg.rl_threshold, cfg.rlb_threshold);
+    println!(
+        "(suite thresholds: RL {} / RLB {}; MAX = CPU only)\n",
+        cfg.rl_threshold, cfg.rlb_threshold
+    );
     for method in [Method::RlGpu, Method::RlbGpuV2] {
         println!("== {} ==", method.label());
-        let mut t = Table::new(vec![
-            "threshold",
-            picks[0],
-            picks[1],
-            picks[2],
-        ]);
+        let mut t = Table::new(vec!["threshold", picks[0], picks[1], picks[2]]);
         let prepared: Vec<_> = paper_suite()
             .into_iter()
             .filter(|e| picks.contains(&e.name))
@@ -73,7 +71,12 @@ fn main() {
 
     // Overlap ablation at the suite thresholds.
     println!("== async copy-back overlap ablation (RL_G, suite threshold) ==");
-    let mut t = Table::new(vec!["Matrix", "overlap on (s)", "overlap off (s)", "off/on"]);
+    let mut t = Table::new(vec![
+        "Matrix",
+        "overlap on (s)",
+        "overlap off (s)",
+        "off/on",
+    ]);
     for name in picks {
         let entry = paper_suite().into_iter().find(|e| e.name == name).unwrap();
         let p = prepare(&entry);

@@ -16,16 +16,16 @@ use rlchol_symbolic::SymbolicFactor;
 
 /// One contiguous run of update columns aimed at a single target.
 #[derive(Debug, Clone, Copy)]
-struct Segment {
+pub(crate) struct Segment {
     /// First update-row position of the segment.
-    lo: usize,
+    pub(crate) lo: usize,
     /// One past the last update-row position.
-    hi: usize,
+    pub(crate) hi: usize,
     /// Target supernode.
-    target: usize,
+    pub(crate) target: usize,
 }
 
-fn segments(sym: &SymbolicFactor, s: usize) -> Vec<Segment> {
+pub(crate) fn segments(sym: &SymbolicFactor, s: usize) -> Vec<Segment> {
     let rows = &sym.rows[s];
     let mut out = Vec::new();
     let mut k = 0;
@@ -59,7 +59,7 @@ pub fn assemble_update(
 }
 
 /// Scatters one segment into its (already borrowed) target array.
-fn scatter_segment(
+pub(crate) fn scatter_segment(
     sym: &SymbolicFactor,
     target_arr: &mut [f64],
     seg: Segment,

@@ -15,6 +15,10 @@ pub enum Method {
     RlCpu,
     /// Right-looking blocked, CPU only (`RLB_C`).
     RlbCpu,
+    /// Task-parallel RL over the elimination tree (real threads).
+    RlCpuPar,
+    /// Task-parallel RLB over the elimination tree (real threads).
+    RlbCpuPar,
     /// Left-looking supernodal, CPU only (classic baseline).
     LlCpu,
     /// Multifrontal, CPU only (classic baseline).
@@ -33,6 +37,8 @@ impl Method {
         match self {
             Method::RlCpu => "RL_C",
             Method::RlbCpu => "RLB_C",
+            Method::RlCpuPar => "RL_C(par)",
+            Method::RlbCpuPar => "RLB_C(par)",
             Method::LlCpu => "LL_C",
             Method::MfCpu => "MF_C",
             Method::RlGpu => "RL_G",
@@ -128,17 +134,48 @@ pub struct GpuRun {
 ///
 /// The two BLAS operands interleave by columns in supernodal storage, so
 /// the triangle is copied out for the TRSM — the same approach the
-/// blocked dense POTRF uses.
-pub fn factor_panel(arr: &mut [f64], len: usize, c: usize, r: usize) -> Result<(), usize> {
+/// blocked dense POTRF uses. `l11` is the caller-provided scratch for
+/// that copy: engines allocate it once per factorization (it grows to
+/// the largest diagonal block) so the per-supernode loop stays
+/// allocation-free.
+pub fn factor_panel(
+    arr: &mut [f64],
+    len: usize,
+    c: usize,
+    r: usize,
+    l11: &mut Vec<f64>,
+) -> Result<(), usize> {
+    factor_panel_par(arr, len, c, r, l11, 1)
+}
+
+/// Parallel variant of [`factor_panel`] (and the shared implementation —
+/// `threads == 1` is the serial engines' path): same numerics, but the
+/// panel TRSM runs its trailing updates striped over the persistent pool
+/// ([`rlchol_dense::par_trsm_rlt`]). Used by the tree scheduler when few
+/// supernodes are ready and lanes would otherwise idle.
+pub fn factor_panel_par(
+    arr: &mut [f64],
+    len: usize,
+    c: usize,
+    r: usize,
+    l11: &mut Vec<f64>,
+    threads: usize,
+) -> Result<(), usize> {
     potrf(c, arr, len).map_err(|e| e.pivot)?;
     if r > 0 {
-        let mut l11 = vec![0.0f64; c * c];
+        if l11.len() < c * c {
+            l11.resize(c * c, 0.0);
+        }
         for j in 0..c {
             for i in j..c {
                 l11[j * c + i] = arr[j * len + i];
             }
         }
-        trsm_rlt(r, c, &l11, c, &mut arr[c..], len);
+        if threads <= 1 {
+            trsm_rlt(r, c, &l11[..c * c], c, &mut arr[c..], len);
+        } else {
+            rlchol_dense::par_trsm_rlt(threads, r, c, &l11[..c * c], c, &mut arr[c..], len);
+        }
     }
     Ok(())
 }
@@ -169,7 +206,7 @@ mod tests {
             .flat_map(|j| (0..len).map(move |i| (i, j)))
             .map(|(i, j)| m[(i, j)])
             .collect();
-        factor_panel(&mut panel, len, c, len - c).unwrap();
+        factor_panel(&mut panel, len, c, len - c, &mut Vec::new()).unwrap();
         rlchol_dense::potrf(len, m.as_mut_slice(), len).unwrap();
         for j in 0..c {
             for i in j..len {
@@ -184,7 +221,7 @@ mod tests {
     #[test]
     fn factor_panel_reports_pivot() {
         let mut bad = vec![0.0; 6]; // 3x2 panel, zero diagonal
-        assert_eq!(factor_panel(&mut bad, 3, 2, 1), Err(0));
+        assert_eq!(factor_panel(&mut bad, 3, 2, 1, &mut Vec::new()), Err(0));
     }
 
     #[test]

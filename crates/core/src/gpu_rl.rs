@@ -71,6 +71,7 @@ pub fn factor_rl_gpu(
     let panel_buf = gpu.alloc(max_panel)?;
     let upd_buf = gpu.alloc(max_upd)?;
     let mut host_upd = vec![0.0f64; max_upd];
+    let mut l11 = Vec::new();
     // The previous panel copy-back must finish before the panel buffer is
     // reused by the next supernode's H2D.
     let mut prev_copyback = None;
@@ -85,7 +86,7 @@ pub fn factor_rl_gpu(
             // CPU path: real numerics; host clock advances by model time.
             {
                 let arr = &mut data.sn[s];
-                factor_panel(arr, len, c, r).map_err(|pivot| {
+                factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
                     FactorError::NotPositiveDefinite {
                         column: first + pivot,
                     }
@@ -154,9 +155,9 @@ fn host_upd_grow(buf: &mut Vec<f64>, r: usize) -> &mut [f64] {
 /// Maps a device-side POTRF failure to the factorization error type.
 fn map_device_pivot(first_col: usize) -> impl Fn(rlchol_gpu::GpuError) -> FactorError {
     move |e| match e {
-        rlchol_gpu::GpuError::Numerical(_) => FactorError::NotPositiveDefinite {
-            column: first_col,
-        },
+        rlchol_gpu::GpuError::Numerical(_) => {
+            FactorError::NotPositiveDefinite { column: first_col }
+        }
         other => other.into(),
     }
 }
@@ -199,10 +200,7 @@ mod tests {
         // A threshold strictly between the smallest and largest supernode
         // size must split the set.
         let sizes: Vec<usize> = (0..sym.nsup()).map(|s| sym.sn_size(s)).collect();
-        let (lo, hi) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(lo < hi, "test matrix must have varied supernode sizes");
         let some = factor_rl_gpu(&sym, &ap, &GpuOptions::with_threshold(hi)).unwrap();
         assert!(some.sn_on_gpu > 0 && some.sn_on_gpu < sym.nsup());

@@ -155,10 +155,13 @@ fn panel_on_device(
         gpu.stream_wait_event(compute, ev);
     }
     gpu.memcpy_h2d(compute, panel_buf, 0, data_s)?;
-    gpu.potrf(compute, panel_buf, 0, c, len).map_err(|e| match e {
-        rlchol_gpu::GpuError::Numerical(_) => FactorError::NotPositiveDefinite { column: first },
-        other => other.into(),
-    })?;
+    gpu.potrf(compute, panel_buf, 0, c, len)
+        .map_err(|e| match e {
+            rlchol_gpu::GpuError::Numerical(_) => {
+                FactorError::NotPositiveDefinite { column: first }
+            }
+            other => other.into(),
+        })?;
     gpu.trsm_panel(compute, panel_buf, 0, len, c, r)?;
     let factored = gpu.record_event(compute);
     gpu.stream_wait_event(copy, factored);
@@ -229,6 +232,7 @@ pub fn factor_rlb_gpu(
     let mut prev_copyback: Option<Event> = None;
     // Host-side CPU-path update workspace.
     let mut host_ws: Vec<f64> = Vec::new();
+    let mut l11 = Vec::new();
 
     for s in 0..sym.nsup() {
         let c = sym.sn_ncols(s);
@@ -240,7 +244,7 @@ pub fn factor_rlb_gpu(
             // CPU path: the direct in-place RLB update (no staging).
             {
                 let arr = &mut data.sn[s];
-                factor_panel(arr, len, c, r).map_err(|pivot| {
+                factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
                     FactorError::NotPositiveDefinite {
                         column: first + pivot,
                     }
@@ -425,7 +429,16 @@ fn cpu_direct_update(
         let tcol = blk.first - p_first;
         {
             let cblock = &mut parr[tcol * p_len + tcol..];
-            syrk_ln(blk.len, c, -1.0, &src[c + blk.offset..], len, 1.0, cblock, p_len);
+            syrk_ln(
+                blk.len,
+                c,
+                -1.0,
+                &src[c + blk.offset..],
+                len,
+                1.0,
+                cblock,
+                p_len,
+            );
         }
         *host_seconds += cpu.op_time(&TraceOp::Syrk { n: blk.len, k: c });
         for blk2 in &blocks[b1 + 1..] {

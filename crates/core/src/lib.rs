@@ -30,6 +30,13 @@
 //! stack-based multifrontal method with its distinctive working-storage
 //! profile.
 //!
+//! * **Task-parallel CPU engines** ([`sched`]) — RL and RLB scheduled
+//!   over the supernodal elimination tree on the persistent thread pool
+//!   (`RLCHOL_THREADS` lanes; see `rlchol-dense`'s crate docs):
+//!   independent subtrees factor concurrently, fan-out updates are
+//!   guarded per-target, and large per-task BLAS calls stripe across
+//!   idle lanes.
+//!
 //! The [`solver::CholeskySolver`] ties ordering, symbolic analysis,
 //! numeric factorization and triangular solves into the end-to-end
 //! pipeline a user would call.
@@ -43,6 +50,7 @@ pub mod ll;
 pub mod multifrontal;
 pub mod rl;
 pub mod rlb;
+pub mod sched;
 pub mod simplicial;
 pub mod solve;
 pub mod solver;
@@ -50,5 +58,6 @@ pub mod storage;
 
 pub use engine::{best_cpu_time, CpuRun, GpuOptions, GpuRun, Method};
 pub use error::FactorError;
+pub use sched::{factor_rl_cpu_par, factor_rlb_cpu_par};
 pub use solver::{CholeskySolver, SolverOptions};
 pub use storage::FactorData;

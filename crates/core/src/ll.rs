@@ -36,6 +36,7 @@ pub fn factor_ll_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
     let mut data = FactorData::load(sym, a);
     let mut trace = Trace::new();
     let nsup = sym.nsup();
+    let mut l11 = Vec::new();
     // pending[j]: descendants whose next unconsumed row segment starts in
     // supernode j, as (descendant, segment start offset into its rows).
     let mut pending: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nsup];
@@ -43,8 +44,7 @@ pub fn factor_ll_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
     let max_w = (0..nsup)
         .map(|s| {
             let r = sym.rows[s].len();
-            r * sym
-                .blocks[s]
+            r * sym.blocks[s]
                 .iter()
                 .map(|b| b.len)
                 .max()
@@ -78,7 +78,16 @@ pub fn factor_ll_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
                 let a_block = &src[cd + lo..];
                 let b_block = &src[cd + lo..];
                 gemm_nt(
-                    m, nseg, cd, 1.0, a_block, len_d, b_block, len_d, 0.0, &mut w[..m * nseg],
+                    m,
+                    nseg,
+                    cd,
+                    1.0,
+                    a_block,
+                    len_d,
+                    b_block,
+                    len_d,
+                    0.0,
+                    &mut w[..m * nseg],
                     m,
                 );
                 trace.push(TraceOp::Gemm { m, n: nseg, k: cd });
@@ -111,7 +120,7 @@ pub fn factor_ll_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
         let r = sym.sn_nrows_below(j);
         {
             let arr = &mut data.sn[j];
-            factor_panel(arr, len_j, cj, r).map_err(|pivot| {
+            factor_panel(arr, len_j, cj, r, &mut l11).map_err(|pivot| {
                 FactorError::NotPositiveDefinite {
                     column: first_j + pivot,
                 }

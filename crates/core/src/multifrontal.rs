@@ -61,6 +61,7 @@ pub fn factor_multifrontal_cpu(
     // top... almost: siblings stack in order, so a parent pops exactly
     // its children (they are the most recent unconsumed updates).
     let mut stack: Vec<StackedUpdate> = Vec::new();
+    let mut l11 = Vec::new();
     let mut stack_entries = 0usize;
     let mut peak_stack_entries = 0usize;
 
@@ -119,7 +120,7 @@ pub fn factor_multifrontal_cpu(
                 trace.push(TraceOp::Assemble { entries });
             }
             // Partial factorization of the front.
-            factor_panel(front_cols, len, c, r).map_err(|pivot| {
+            factor_panel(front_cols, len, c, r, &mut l11).map_err(|pivot| {
                 FactorError::NotPositiveDefinite {
                     column: first + pivot,
                 }

@@ -27,6 +27,7 @@ pub fn factor_rl_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
     // the largest update matrix during the factorization." (§II-A)
     let rmax2 = sym.max_update_matrix_entries();
     let mut upd = vec![0.0f64; rmax2];
+    let mut l11 = Vec::new();
 
     for s in 0..sym.nsup() {
         let c = sym.sn_ncols(s);
@@ -35,10 +36,11 @@ pub fn factor_rl_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
         let first = sym.sn.first_col(s);
         {
             let arr = &mut data.sn[s];
-            factor_panel(arr, len, c, r)
-                .map_err(|pivot| FactorError::NotPositiveDefinite {
+            factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
+                FactorError::NotPositiveDefinite {
                     column: first + pivot,
-                })?;
+                }
+            })?;
         }
         trace.push(TraceOp::Potrf { n: c });
         if r > 0 {

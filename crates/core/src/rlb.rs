@@ -18,7 +18,7 @@ use std::time::Instant;
 use rlchol_dense::{gemm_nt, syrk_ln};
 use rlchol_perfmodel::{Trace, TraceOp};
 use rlchol_sparse::SymCsc;
-use rlchol_symbolic::relind::relative_indices;
+use rlchol_symbolic::relind::relative_index_of;
 use rlchol_symbolic::SymbolicFactor;
 
 use crate::engine::{factor_panel, CpuRun};
@@ -30,6 +30,7 @@ pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, Factor
     let t0 = Instant::now();
     let mut data = FactorData::load(sym, a);
     let mut trace = Trace::new();
+    let mut l11 = Vec::new();
 
     for s in 0..sym.nsup() {
         let c = sym.sn_ncols(s);
@@ -38,10 +39,11 @@ pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, Factor
         let first = sym.sn.first_col(s);
         {
             let arr = &mut data.sn[s];
-            factor_panel(arr, len, c, r)
-                .map_err(|pivot| FactorError::NotPositiveDefinite {
+            factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
+                FactorError::NotPositiveDefinite {
                     column: first + pivot,
-                })?;
+                }
+            })?;
         }
         trace.push(TraceOp::Potrf { n: c });
         if r == 0 {
@@ -81,13 +83,9 @@ pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, Factor
             for blk2 in &blocks[b1 + 1..] {
                 // One generalized relative index per block: the offset of
                 // B′'s first row in p's index list (consecutive indices
-                // remain consecutive there).
-                let roff = relative_indices(
-                    std::slice::from_ref(&blk2.first),
-                    p_first,
-                    p_ncols,
-                    &sym.rows[p],
-                )[0];
+                // remain consecutive there). The single-index lookup keeps
+                // the update loop allocation-free.
+                let roff = relative_index_of(blk2.first, p_first, p_ncols, &sym.rows[p]);
                 let cblock = &mut parr[tcol * p_len + roff..];
                 gemm_nt(
                     blk2.len,

@@ -105,10 +105,7 @@ mod tests {
             for i in j..n {
                 let got = l.get(i, j);
                 let want = dense[j * n + i];
-                assert!(
-                    (got - want).abs() < 1e-10,
-                    "({i},{j}): {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-10, "({i},{j}): {got} vs {want}");
             }
         }
     }

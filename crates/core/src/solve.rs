@@ -155,7 +155,9 @@ mod tests {
         let run = factor_rl_cpu(&sym, &ap).unwrap();
         let n = a.n();
         let nrhs = 3;
-        let b: Vec<f64> = (0..n * nrhs).map(|i| ((i * 29) % 23) as f64 - 11.0).collect();
+        let b: Vec<f64> = (0..n * nrhs)
+            .map(|i| ((i * 29) % 23) as f64 - 11.0)
+            .collect();
         let x_multi = solve_multi(&sym, &run.factor, &b, nrhs);
         for rhs in 0..nrhs {
             let x_single = solve(&sym, &run.factor, &b[rhs * n..(rhs + 1) * n]);

@@ -30,6 +30,10 @@ pub struct SolverOptions {
     pub method: Method,
     /// GPU engine options (ignored by the CPU methods).
     pub gpu: GpuOptions,
+    /// Lanes for the task-parallel CPU engines ([`Method::RlCpuPar`],
+    /// [`Method::RlbCpuPar`]); `0` means `RLCHOL_THREADS` / available
+    /// parallelism. Ignored by the serial and GPU methods.
+    pub threads: usize,
 }
 
 impl Default for SolverOptions {
@@ -39,6 +43,18 @@ impl Default for SolverOptions {
             symbolic: SymbolicOptions::default(),
             method: Method::RlCpu,
             gpu: GpuOptions::with_threshold(usize::MAX),
+            threads: 0,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Resolved lane count for the task-parallel engines.
+    fn lanes(&self) -> usize {
+        if self.threads == 0 {
+            rlchol_dense::pool::default_threads()
+        } else {
+            self.threads
         }
     }
 }
@@ -70,6 +86,14 @@ impl CholeskySolver {
             }
             Method::RlbCpu => {
                 let run = factor_rlb_cpu(&sym, &a_fact)?;
+                (run.factor, None, 0)
+            }
+            Method::RlCpuPar => {
+                let run = crate::sched::factor_rl_cpu_par(&sym, &a_fact, opts.lanes())?;
+                (run.factor, None, 0)
+            }
+            Method::RlbCpuPar => {
+                let run = crate::sched::factor_rlb_cpu_par(&sym, &a_fact, opts.lanes())?;
                 (run.factor, None, 0)
             }
             Method::LlCpu => {

@@ -102,28 +102,41 @@ fn gemm(
         return;
     }
 
-    // Packed panels, zero-padded to multiples of MR / NR.
-    let mut apack = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
-    let mut bpack = vec![0.0f64; NC.div_ceil(NR) * NR * KC];
-
-    let mut jc = 0;
-    while jc < n {
-        let nc = NC.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kc = KC.min(k - pc);
-            pack_b(&mut bpack, b, ldb, tb, pc, jc, kc, nc);
-            let mut ic = 0;
-            while ic < m {
-                let mc = MC.min(m - ic);
-                pack_a(&mut apack, a, lda, ic, pc, mc, kc);
-                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, c, ldc, ic, jc);
-                ic += MC;
+    // Packed panels, zero-padded to multiples of MR / NR. The buffers are
+    // thread-local and reused across calls, so the supernodal update loop
+    // (thousands of GEMMs) allocates only on each thread's first call.
+    PACK.with(|cell| {
+        let (apack, bpack) = &mut *cell.borrow_mut();
+        apack.resize(MC.div_ceil(MR) * MR * KC, 0.0);
+        bpack.resize(NC.div_ceil(NR) * NR * KC, 0.0);
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(bpack, b, ldb, tb, pc, jc, kc, nc);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    pack_a(apack, a, lda, ic, pc, mc, kc);
+                    macro_kernel(mc, nc, kc, alpha, apack, bpack, c, ldc, ic, jc);
+                    ic += MC;
+                }
+                pc += KC;
             }
-            pc += KC;
+            jc += NC;
         }
-        jc += NC;
-    }
+    });
+}
+
+std::thread_local! {
+    /// Per-thread `(apack, bpack)` panels: the packing sizes are
+    /// compile-time constants, so one lazily grown pair serves every GEMM
+    /// this thread ever runs. `gemm` never re-enters itself, so the
+    /// `RefCell` borrow is never contended.
+    static PACK: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Packs the `mc x kc` block of `A` starting at `(ic, pc)` into MR-row
@@ -293,7 +306,9 @@ mod tests {
         } else {
             gemm_nn(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_fast, ldc);
         }
-        gemm_naive(m, n, k, alpha, &a, lda, &b, ldb, transb, beta, &mut c_ref, ldc);
+        gemm_naive(
+            m, n, k, alpha, &a, lda, &b, ldb, transb, beta, &mut c_ref, ldc,
+        );
         let max_err = c_fast
             .iter()
             .zip(&c_ref)

@@ -20,14 +20,27 @@
 //! small owned column-major matrix used by tests, examples and supernode
 //! storage.
 //!
-//! The GEMM path packs operands into contiguous panels and runs a
+//! The GEMM path packs operands into contiguous panels (reused
+//! thread-local buffers — the hot loop allocates nothing) and runs a
 //! register-blocked micro-kernel; POTRF/TRSM/SYRK are blocked on top of it
 //! (right-looking, as in LAPACK).
+//!
+//! ## Parallelism
+//!
+//! The [`par`] wrappers (`par_gemm_nn`, `par_gemm_nt`, `par_syrk_ln`,
+//! `par_trsm_rlt`) stripe the output and run the stripes on the
+//! persistent work-stealing [`pool`] shared by the whole process. The
+//! pool is sized by the **`RLCHOL_THREADS`** environment variable when it
+//! is set to a positive integer, and by
+//! [`std::thread::available_parallelism`] otherwise; the submitting
+//! thread participates in execution, so `RLCHOL_THREADS=8` means eight
+//! runnable lanes in total.
 
 pub mod flops;
 pub mod gemm;
 pub mod mat;
 pub mod par;
+pub mod pool;
 pub mod potrf;
 pub mod syrk;
 pub mod trsm;
@@ -35,6 +48,7 @@ pub mod trsm;
 pub use flops::{flops_gemm, flops_potrf, flops_syrk, flops_trsm};
 pub use gemm::{gemm_nn, gemm_nt};
 pub use mat::DMat;
+pub use par::{par_gemm_nn, par_gemm_nt, par_syrk_ln, par_trsm_rlt};
 pub use potrf::{potrf, PotrfError};
 pub use syrk::syrk_ln;
 pub use trsm::{trsm_lln, trsm_llt, trsm_rlt, trsv_ln, trsv_lt};

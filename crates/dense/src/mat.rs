@@ -35,11 +35,7 @@ impl DMat {
     /// Builds from a column-major data vector.
     pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), nrows * ncols);
-        DMat {
-            nrows,
-            ncols,
-            data,
-        }
+        DMat { nrows, ncols, data }
     }
 
     /// Builds from rows given as nested slices (row-major input).

@@ -2,12 +2,17 @@
 //!
 //! The paper's CPU baseline links multithreaded MKL; these wrappers give
 //! the same call-level parallelism: the `n` dimension of GEMM/SYRK is
-//! split into column stripes, one scoped thread per stripe. Column-major
-//! storage makes the stripes disjoint `&mut` regions, so no synchronization
-//! is needed beyond the scope join.
+//! split into column stripes and the stripes run on the persistent
+//! [`pool`](crate::pool) (no per-call thread spawn). Column-major storage
+//! makes the stripes disjoint `&mut` regions, so no synchronization is
+//! needed beyond the batch join. The submitting thread executes stripes
+//! too, so `threads = t` means `t` runnable lanes.
 
 use crate::gemm::{gemm_nn, gemm_nt};
+use crate::pool;
 use crate::syrk::syrk_ln;
+use crate::trsm::{trsm_rlt, trsm_rlt_with};
+use crate::NB;
 
 /// Splits `n` columns into at most `threads` balanced stripes of whole
 /// columns; returns `(start, width)` pairs.
@@ -47,19 +52,22 @@ pub fn par_gemm_nn(
         return;
     }
     let stripes = column_stripes(n, threads);
-    std::thread::scope(|scope| {
-        let mut rest = c;
-        let mut consumed = 0usize;
-        for &(j0, w) in &stripes {
-            let (mine, tail) = rest.split_at_mut((j0 - consumed + w) * ldc);
-            let my_c = &mut mine[(j0 - consumed) * ldc..];
-            rest = tail;
-            consumed = j0 + w;
-            scope.spawn(move || {
-                gemm_nn(m, w, k, alpha, a, lda, &b[j0 * ldb..], ldb, beta, my_c, ldc);
-            });
-        }
-    });
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(stripes.len());
+    let mut rest = c;
+    let mut consumed = 0usize;
+    for &(j0, w) in &stripes {
+        // The caller may pass a slice capped at (n-1)·ldc + m, so the
+        // last stripe takes whatever remains instead of a full stride.
+        let take = ((j0 - consumed + w) * ldc).min(rest.len());
+        let (mine, tail) = rest.split_at_mut(take);
+        let my_c = &mut mine[(j0 - consumed) * ldc..];
+        rest = tail;
+        consumed = j0 + w;
+        tasks.push(Box::new(move || {
+            gemm_nn(m, w, k, alpha, a, lda, &b[j0 * ldb..], ldb, beta, my_c, ldc);
+        }));
+    }
+    pool::global().run(tasks);
 }
 
 /// Parallel `C := alpha A Bᵀ + beta C` (see [`gemm_nt`]).
@@ -82,26 +90,57 @@ pub fn par_gemm_nt(
         return;
     }
     let stripes = column_stripes(n, threads);
-    std::thread::scope(|scope| {
-        let mut rest = c;
-        let mut consumed = 0usize;
-        for &(j0, w) in &stripes {
-            let (mine, tail) = rest.split_at_mut((j0 - consumed + w) * ldc);
-            let my_c = &mut mine[(j0 - consumed) * ldc..];
-            rest = tail;
-            consumed = j0 + w;
-            scope.spawn(move || {
-                // Rows j0..j0+w of stored B give columns j0.. of Bᵀ.
-                gemm_nt(m, w, k, alpha, a, lda, &b[j0..], ldb, beta, my_c, ldc);
-            });
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(stripes.len());
+    let mut rest = c;
+    let mut consumed = 0usize;
+    for &(j0, w) in &stripes {
+        // See par_gemm_nn: the final stripe may not own a full stride.
+        let take = ((j0 - consumed + w) * ldc).min(rest.len());
+        let (mine, tail) = rest.split_at_mut(take);
+        let my_c = &mut mine[(j0 - consumed) * ldc..];
+        rest = tail;
+        consumed = j0 + w;
+        tasks.push(Box::new(move || {
+            // Rows j0..j0+w of stored B give columns j0.. of Bᵀ.
+            gemm_nt(m, w, k, alpha, a, lda, &b[j0..], ldb, beta, my_c, ldc);
+        }));
+    }
+    pool::global().run(tasks);
+}
+
+/// Stripe boundaries for a triangular update: bounds `j_s` chosen so each
+/// stripe's lower-triangle area is roughly equal, deduplicated (the
+/// quadratic-root balancing can clamp several bounds to the same column
+/// on small `n`, which would produce empty stripes that waste pool
+/// slots).
+fn syrk_bounds(n: usize, threads: usize) -> Vec<usize> {
+    let t = threads.min(n);
+    let total = (n * (n + 1)) as f64 / 2.0;
+    let mut bounds = vec![0usize];
+    for s in 1..t {
+        let target = total * s as f64 / t as f64;
+        // Area of columns [0, j) of the triangle: n*j - j(j-1)/2 ≈ target.
+        // Solve j² - (2n+1) j + 2*target = 0 for the smaller root.
+        let nn = n as f64;
+        let disc = ((2.0 * nn + 1.0) * (2.0 * nn + 1.0) - 8.0 * target).max(0.0);
+        let j = ((2.0 * nn + 1.0 - disc.sqrt()) / 2.0).round() as usize;
+        let j = j.clamp(*bounds.last().unwrap(), n);
+        if j > *bounds.last().unwrap() {
+            bounds.push(j);
         }
-    });
+    }
+    if *bounds.last().unwrap() < n {
+        bounds.push(n);
+    }
+    bounds
 }
 
 /// Parallel `SYRK` on the lower triangle.
 ///
-/// Column stripes of a triangular update have unequal areas, so stripes are
-/// sized to balance the trailing-triangle area rather than the width.
+/// Column stripes of a triangular update have unequal areas, so stripes
+/// are sized to balance the trailing-triangle area rather than the
+/// width. Falls back to the serial kernel when fewer than two non-empty
+/// stripes remain after balancing.
 pub fn par_syrk_ln(
     threads: usize,
     n: usize,
@@ -117,61 +156,71 @@ pub fn par_syrk_ln(
         syrk_ln(n, k, alpha, a, lda, beta, c, ldc);
         return;
     }
-    // Choose stripe boundaries j_s so that each stripe's lower-triangle
-    // area (n-j)(w) + w²/2 is roughly equal: solve cumulative area
-    // fractions on the triangle.
-    let t = threads.min(n);
-    let total = (n * (n + 1)) as f64 / 2.0;
-    let mut bounds = vec![0usize];
-    for s in 1..t {
-        let target = total * s as f64 / t as f64;
-        // Area of columns [0, j) of the triangle: n*j - j(j-1)/2 ≈ target.
-        // Solve j² - (2n+1) j + 2*target = 0 for the smaller root.
-        let nn = n as f64;
-        let disc = ((2.0 * nn + 1.0) * (2.0 * nn + 1.0) - 8.0 * target).max(0.0);
-        let j = ((2.0 * nn + 1.0 - disc.sqrt()) / 2.0).round() as usize;
-        bounds.push(j.clamp(*bounds.last().unwrap(), n));
+    let bounds = syrk_bounds(n, threads);
+    if bounds.len() < 3 {
+        // Fewer than 2 non-empty stripes: striping buys nothing.
+        syrk_ln(n, k, alpha, a, lda, beta, c, ldc);
+        return;
     }
-    bounds.push(n);
-    std::thread::scope(|scope| {
-        let mut rest = c;
-        let mut consumed = 0usize;
-        for s in 0..bounds.len() - 1 {
-            let (j0, j1) = (bounds[s], bounds[s + 1]);
-            let w = j1 - j0;
-            if w == 0 {
-                continue;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = c;
+    let mut consumed = 0usize;
+    for s in 0..bounds.len() - 1 {
+        let (j0, j1) = (bounds[s], bounds[s + 1]);
+        let w = j1 - j0;
+        debug_assert!(w > 0, "syrk_bounds produced an empty stripe");
+        let take = ((j0 - consumed + w) * ldc).min(rest.len());
+        let (mine, tail) = rest.split_at_mut(take);
+        let my_c = &mut mine[(j0 - consumed) * ldc..];
+        rest = tail;
+        consumed = j1;
+        tasks.push(Box::new(move || {
+            // The stripe holds full-height columns [j0, j1) of C, so
+            // local row indices equal global row indices: the diagonal
+            // block starts at row j0 and the rectangle below at row j1.
+            // Diagonal w x w triangle:
+            syrk_ln(w, k, alpha, &a[j0..], lda, beta, &mut my_c[j0..], ldc);
+            // Rectangle below: rows j1..n.
+            let below = n - j1;
+            if below > 0 {
+                gemm_nt(
+                    below,
+                    w,
+                    k,
+                    alpha,
+                    &a[j1..],
+                    lda,
+                    &a[j0..],
+                    lda,
+                    beta,
+                    &mut my_c[j1..],
+                    ldc,
+                );
             }
-            let (mine, tail) = rest.split_at_mut((j0 - consumed + w) * ldc);
-            let my_c = &mut mine[(j0 - consumed) * ldc..];
-            rest = tail;
-            consumed = j1;
-            scope.spawn(move || {
-                // The stripe holds full-height columns [j0, j1) of C, so
-                // local row indices equal global row indices: the diagonal
-                // block starts at row j0 and the rectangle below at row j1.
-                // Diagonal w x w triangle:
-                syrk_ln(w, k, alpha, &a[j0..], lda, beta, &mut my_c[j0..], ldc);
-                // Rectangle below: rows j1..n.
-                let below = n - j1;
-                if below > 0 {
-                    gemm_nt(
-                        below,
-                        w,
-                        k,
-                        alpha,
-                        &a[j1..],
-                        lda,
-                        &a[j0..],
-                        lda,
-                        beta,
-                        &mut my_c[j1..],
-                        ldc,
-                    );
-                }
-            });
-        }
-    });
+        }));
+    }
+    pool::global().run(tasks);
+}
+
+/// Parallel `X Lᵀ = B` in place (see [`trsm_rlt`]): the blocked
+/// right-looking column sweep is kept serial (each block depends on all
+/// previous ones), but the dominant trailing GEMM update of each block —
+/// `O(m·n²)` of the `O(m·n²)` total — runs striped on the pool. The
+/// small per-block unblocked solves stay serial.
+pub fn par_trsm_rlt(
+    threads: usize,
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    if threads <= 1 || n <= NB || m == 0 {
+        trsm_rlt(m, n, l, ldl, b, ldb);
+        return;
+    }
+    trsm_rlt_with(threads, m, n, l, ldl, b, ldb)
 }
 
 #[cfg(test)]
@@ -195,6 +244,42 @@ mod tests {
                 for &(j0, w) in &s {
                     assert_eq!(j0, pos);
                     pos += w;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_bounds_have_no_empty_stripes() {
+        for n in [2usize, 3, 5, 8, 83, 311] {
+            for t in [2usize, 3, 7, 16, 64] {
+                let b = syrk_bounds(n, t);
+                assert_eq!(*b.first().unwrap(), 0);
+                assert_eq!(*b.last().unwrap(), n);
+                for w in b.windows(2) {
+                    assert!(w[0] < w[1], "empty stripe in bounds {b:?} (n={n}, t={t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_syrk_with_many_threads_falls_back_cleanly() {
+        // n=2 with 16 threads used to produce duplicate clamped bounds;
+        // now it must still compute the right answer.
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [2usize, 3, 4] {
+            let k = 3;
+            let a = rand_vec(&mut rng, n * k);
+            let c0 = rand_vec(&mut rng, n * n);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            syrk_ln(n, k, -1.0, &a, n, 1.0, &mut c1, n);
+            par_syrk_ln(16, n, k, -1.0, &a, n, 1.0, &mut c2, n);
+            for j in 0..n {
+                for i in j..n {
+                    let (x, y) = (c1[j * n + i], c2[j * n + i]);
+                    assert!((x - y).abs() < 1e-12, "n={n} ({i},{j}): {x} vs {y}");
                 }
             }
         }
@@ -244,6 +329,37 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn par_trsm_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // n crosses several NB blocks so the parallel path engages.
+        let (m, n) = (45, 3 * NB + 7);
+        let ldl = n + 1;
+        let ldb = m + 2;
+        let mut l = vec![0.0; ldl * n];
+        for j in 0..n {
+            for i in j..n {
+                l[j * ldl + i] = if i == j {
+                    2.0 + rng.random_range(0.0..1.0)
+                } else {
+                    rng.random_range(-0.5..0.5)
+                };
+            }
+        }
+        let b0 = rand_vec(&mut rng, ldb * n);
+        for threads in [1, 2, 4, 8] {
+            let mut b1 = b0.clone();
+            let mut b2 = b0.clone();
+            trsm_rlt(m, n, &l, ldl, &mut b1, ldb);
+            par_trsm_rlt(threads, m, n, &l, ldl, &mut b2, ldb);
+            let worst = b1
+                .iter()
+                .zip(&b2)
+                .fold(0.0f64, |w, (&x, &y)| w.max((x - y).abs()));
+            assert!(worst < 1e-11, "threads={threads}: diff {worst}");
         }
     }
 }

@@ -1,0 +1,416 @@
+//! Persistent work-stealing thread pool for the parallel kernels.
+//!
+//! The `par_*` BLAS wrappers and the elimination-tree scheduler in
+//! `rlchol-core` submit closures here instead of spawning OS threads per
+//! call. Workers are started once (lazily, on first use of
+//! [`global`]) and live for the process; each has a local deque and
+//! steals from the shared injector or from its siblings when idle, so a
+//! worker that finishes its stripe early picks up someone else's work.
+//!
+//! **Sizing.** The global pool runs `RLCHOL_THREADS` workers when that
+//! environment variable is set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. A caller of [`ThreadPool::run`]
+//! participates in execution itself, so a "pool of `t` threads" means `t`
+//! runnable lanes including the submitter (`t - 1` parked workers).
+//!
+//! **Nesting.** Jobs may themselves call [`ThreadPool::run`] (the
+//! tree-level scheduler factors a supernode whose inner BLAS stripes
+//! re-enter the pool). Submission from a worker pushes to that worker's
+//! local deque (LIFO pop keeps the cache-hot stripes on the spawning
+//! worker; idle siblings steal FIFO from the other end), and the waiting
+//! job keeps executing pending work instead of blocking a lane, so
+//! nested parallelism cannot deadlock.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased unit of work. Safety: [`ThreadPool::run`] blocks
+/// until every job it submitted has completed, so borrows captured by the
+/// original `'env` closures outlive their execution.
+struct Job(Box<dyn FnOnce() + Send + 'static>);
+
+struct Shared {
+    /// Queue for jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One local deque per worker: owner pushes/pops the back, thieves
+    /// steal from the front.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake signal: bumped on every submission.
+    signal: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops one runnable job: own deque first (LIFO), then the injector,
+    /// then stealing from siblings (FIFO). `me` is `None` off-pool.
+    fn pop(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(w) = me {
+            if let Some(job) = self.locals[w].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let start = me.map_or(0, |w| w + 1);
+        let n = self.locals.len();
+        for k in 0..n {
+            let v = (start + k) % n;
+            if Some(v) == me {
+                continue;
+            }
+            if let Some(job) = self.locals[v].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a whole batch under one queue lock and one broadcast —
+    /// per-job wakeups would thundering-herd every parked worker once
+    /// per stripe on the hot fan-out path.
+    fn push_batch(&self, me: Option<usize>, jobs: Vec<Job>) {
+        match me {
+            Some(w) => self.locals[w].lock().unwrap().extend(jobs),
+            None => self.injector.lock().unwrap().extend(jobs),
+        }
+        let mut epoch = self.signal.lock().unwrap();
+        *epoch += 1;
+        drop(epoch);
+        self.wake.notify_all();
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the current thread, if it is a
+    /// pool worker. The identity is the `Arc<Shared>` data address.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Completion latch for one [`ThreadPool::run`] batch.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: n,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().unwrap().remaining == 0
+    }
+}
+
+/// A persistent pool of worker threads (see the module docs).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Starts a pool with `threads` runnable lanes (`threads - 1` workers
+    /// plus the participating submitter). `threads == 1` spawns no
+    /// workers; [`run`](Self::run) then executes everything inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rlchol-pool-{w}"))
+                .spawn(move || worker_loop(shared, w))
+                .expect("spawning pool worker");
+        }
+        ThreadPool { shared, threads }
+    }
+
+    /// Number of runnable lanes (workers + participating caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion. The calling thread participates —
+    /// it executes pending pool jobs while it waits — so this is safe to
+    /// invoke from inside another pool job. Panics from tasks are
+    /// collected and the first one is re-raised here after the whole
+    /// batch has finished.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        match tasks.len() {
+            0 => return,
+            1 => {
+                for t in tasks {
+                    t();
+                }
+                return;
+            }
+            _ => {}
+        }
+        let me = self.worker_index();
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .map(|task| {
+                // Erase 'env: the latch wait below keeps every borrow
+                // alive until the job has run (completion is counted in
+                // all paths, including panics).
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+                let latch = Arc::clone(&latch);
+                Job(Box::new(move || {
+                    let r = catch_unwind(AssertUnwindSafe(task));
+                    latch.complete(r.err());
+                }))
+            })
+            .collect();
+        self.shared.push_batch(me, jobs);
+        // Participate until the batch drains, then sleep on the latch for
+        // any stragglers still running on workers.
+        while !latch.is_done() {
+            match self.shared.pop(me) {
+                Some(job) => (job.0)(),
+                None => {
+                    let st = latch.state.lock().unwrap();
+                    if st.remaining > 0 {
+                        // Bounded wait: a worker running our straggler may
+                        // itself spawn pool work we should pick up.
+                        let _ = latch
+                            .done
+                            .wait_timeout(st, std::time::Duration::from_micros(200))
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        let panic = latch.state.lock().unwrap().panic.take();
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Pops and runs one pending job, if any; returns whether a job ran.
+    /// Lets a caller that is waiting on its own condition (e.g. the tree
+    /// scheduler with an empty ready queue) lend its lane to pending BLAS
+    /// stripes instead of sleeping.
+    pub fn try_run_one(&self) -> bool {
+        match self.shared.pop(self.worker_index()) {
+            Some(job) => {
+                (job.0)();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn worker_index(&self) -> Option<usize> {
+        let id = Arc::as_ptr(&self.shared) as usize;
+        WORKER.with(|w| match w.get() {
+            Some((pool, idx)) if pool == id => Some(idx),
+            _ => None,
+        })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let mut epoch = self.shared.signal.lock().unwrap();
+        *epoch += 1;
+        drop(epoch);
+        self.shared.wake.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match shared.pop(Some(index)) {
+            Some(job) => (job.0)(),
+            None => {
+                let epoch = shared.signal.lock().unwrap();
+                let seen = *epoch;
+                // Re-check under the signal lock so a push between our
+                // failed pop and this wait cannot be lost.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = shared
+                    .wake
+                    .wait_timeout_while(epoch, std::time::Duration::from_millis(50), |e| *e == seen)
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Thread count for the global pool: `RLCHOL_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    match std::env::var("RLCHOL_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-wide pool, started on first use with
+/// [`default_threads`] lanes.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn boxed<'env, F: FnOnce() + Send + 'env>(f: F) -> Box<dyn FnOnce() + Send + 'env> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn runs_all_tasks_with_borrows() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 64];
+        let tasks = data
+            .chunks_mut(7)
+            .enumerate()
+            .map(|(i, chunk)| boxed(move || chunk.fill(i + 1)))
+            .collect();
+        pool.run(tasks);
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[63], 64usize.div_ceil(7));
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run(
+            (0..10)
+                .map(|_| {
+                    boxed(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_run_from_inside_a_job() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                boxed(move || {
+                    pool.run(
+                        (0..5)
+                            .map(|_| {
+                                let c = Arc::clone(&counter);
+                                boxed(move || {
+                                    c.fetch_add(1, Ordering::SeqCst);
+                                })
+                            })
+                            .collect(),
+                    );
+                })
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn panic_propagates_after_batch_completes() {
+        let pool = ThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d1 = Arc::clone(&done);
+        let d2 = Arc::clone(&done);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                boxed(move || {
+                    d1.fetch_add(1, Ordering::SeqCst);
+                }),
+                boxed(|| panic!("boom")),
+                boxed(move || {
+                    d2.fetch_add(1, Ordering::SeqCst);
+                }),
+            ]);
+        }));
+        assert!(r.is_err(), "panic must surface to the submitter");
+        assert_eq!(done.load(Ordering::SeqCst), 2, "other tasks still ran");
+        // The pool survives a panicking batch.
+        let after = AtomicUsize::new(0);
+        pool.run(
+            (0..3)
+                .map(|_| {
+                    boxed(|| {
+                        after.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(after.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let p1 = global() as *const ThreadPool;
+        let p2 = global() as *const ThreadPool;
+        assert_eq!(p1, p2);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -142,7 +142,10 @@ mod tests {
             // Lower triangle matches.
             for i in j..n {
                 let err = (c1[j * ldc + i] - c2[j * ldc + i]).abs();
-                assert!(err < 1e-11 * (k as f64 + 1.0), "n={n} k={k} ({i},{j}): {err}");
+                assert!(
+                    err < 1e-11 * (k as f64 + 1.0),
+                    "n={n} k={k} ({i},{j}): {err}"
+                );
             }
             // Strict upper triangle untouched.
             for i in 0..j {

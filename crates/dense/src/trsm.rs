@@ -9,6 +9,7 @@
 //! * [`trsm_llt`] — `Lᵀ X = B` (left, lower, transposed): backward solve.
 
 use crate::gemm::gemm_nt;
+use crate::par::par_gemm_nt;
 use crate::NB;
 
 /// Solves `X Lᵀ = B` in place: on return `b` holds `X = B L^{-T}`.
@@ -18,6 +19,21 @@ use crate::NB;
 /// trailing GEMM update from already-solved columns, then a small
 /// unblocked solve against the diagonal block.
 pub fn trsm_rlt(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
+    trsm_rlt_with(1, m, n, l, ldl, b, ldb)
+}
+
+/// The blocked right-looking sweep shared by [`trsm_rlt`] and
+/// [`crate::par::par_trsm_rlt`]: `threads > 1` runs each block's trailing
+/// GEMM striped on the pool, everything else is identical.
+pub(crate) fn trsm_rlt_with(
+    threads: usize,
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
     if m == 0 || n == 0 {
         return;
     }
@@ -33,8 +49,27 @@ pub fn trsm_rlt(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: u
         let (solved, rest) = b.split_at_mut(j0 * ldb);
         let bj = &mut rest[..(jb - 1) * ldb + m];
         if j0 > 0 {
-            // B_J -= X_{<J} * L[J, <J]ᵀ
-            gemm_nt(m, jb, j0, -1.0, solved, ldb, &l[j0..], ldl, 1.0, bj, ldb);
+            // B_J -= X_{<J} * L[J, <J]ᵀ. With threads > 1 the stripes
+            // split the jb (≤ NB) columns of this block, so per-block
+            // parallelism is capped at jb regardless of the height m.
+            if threads <= 1 {
+                gemm_nt(m, jb, j0, -1.0, solved, ldb, &l[j0..], ldl, 1.0, bj, ldb);
+            } else {
+                par_gemm_nt(
+                    threads,
+                    m,
+                    jb,
+                    j0,
+                    -1.0,
+                    solved,
+                    ldb,
+                    &l[j0..],
+                    ldl,
+                    1.0,
+                    bj,
+                    ldb,
+                );
+            }
         }
         trsm_rlt_unblocked(m, jb, &l[j0 * ldl + j0..], ldl, bj, ldb);
         j0 += jb;
@@ -42,7 +77,14 @@ pub fn trsm_rlt(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: u
 }
 
 /// Unblocked `X Lᵀ = B`; `l` points at the diagonal block.
-fn trsm_rlt_unblocked(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
+pub(crate) fn trsm_rlt_unblocked(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
     for j in 0..n {
         // x_j = (b_j - sum_{i<j} x_i * L[j, i]) / L[j, j]
         let (done, cur) = b.split_at_mut(j * ldb);

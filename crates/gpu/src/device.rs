@@ -40,6 +40,9 @@ struct State {
     host_clock: f64,
     blocking: bool,
     stats: GpuStats,
+    /// Reused triangle copy for [`Gpu::trsm_panel`]; grows to the largest
+    /// diagonal block so repeated panel TRSMs allocate nothing.
+    l11_scratch: Vec<f64>,
 }
 
 /// The simulated GPU.
@@ -63,6 +66,7 @@ impl Gpu {
                 host_clock: 0.0,
                 blocking: false,
                 stats: GpuStats::default(),
+                l11_scratch: Vec::new(),
             }),
         }
     }
@@ -147,10 +151,7 @@ impl Gpu {
     /// Blocks the host until all streams have drained.
     pub fn synchronize(&self) {
         let mut st = self.state.lock();
-        let m = st
-            .streams
-            .iter()
-            .fold(st.host_clock, |acc, &c| acc.max(c));
+        let m = st.streams.iter().fold(st.host_clock, |acc, &c| acc.max(c));
         st.host_clock = m;
     }
 
@@ -174,9 +175,7 @@ impl Gpu {
     /// Current simulated time: the furthest point any timeline reached.
     pub fn elapsed(&self) -> f64 {
         let st = self.state.lock();
-        st.streams
-            .iter()
-            .fold(st.host_clock, |acc, &c| acc.max(c))
+        st.streams.iter().fold(st.host_clock, |acc, &c| acc.max(c))
     }
 
     /// Host timeline position (excludes unfinished asynchronous work).
@@ -198,12 +197,7 @@ impl Gpu {
         self.state.lock().stats
     }
 
-    fn check_range(
-        st: &State,
-        buf: Buffer,
-        offset: usize,
-        len: usize,
-    ) -> Result<(), GpuError> {
+    fn check_range(st: &State, buf: Buffer, offset: usize, len: usize) -> Result<(), GpuError> {
         match st.buffers.get(buf.id) {
             Some(Some(v)) => {
                 if offset + len > v.len() {
@@ -320,16 +314,21 @@ impl Gpu {
         if c > 0 && m > 0 {
             Self::check_range(&st, buf, offset, (c - 1) * ld + c + m)?;
         }
-        let data = st.buffers[buf.id].as_mut().unwrap();
         // The diagonal block and the panel interleave by columns; copy the
-        // triangle out (exactly what the blocked host POTRF does).
-        let mut l11 = vec![0.0f64; c * c];
+        // triangle out (exactly what the blocked host POTRF does) into the
+        // device-wide reusable scratch.
+        let mut l11 = std::mem::take(&mut st.l11_scratch);
+        if l11.len() < c * c {
+            l11.resize(c * c, 0.0);
+        }
+        let data = st.buffers[buf.id].as_mut().unwrap();
         for j in 0..c {
             for i in j..c {
                 l11[j * c + i] = data[offset + j * ld + i];
             }
         }
-        rlchol_dense::trsm_rlt(m, c, &l11, c, &mut data[offset + c..], ld);
+        rlchol_dense::trsm_rlt(m, c, &l11[..c * c], c, &mut data[offset + c..], ld);
+        st.l11_scratch = l11;
         self.launch(&mut st, stream, TraceOp::Trsm { m, n: c });
         Ok(())
     }
@@ -360,9 +359,9 @@ impl Gpu {
             }
             Self::check_range(&st, c_buf, c_off, (n - 1) * ldc + n)?;
         }
-        let mut c_data = st.buffers[c_buf.id].take().ok_or(GpuError::InvalidBuffer {
-            id: c_buf.id,
-        })?;
+        let mut c_data = st.buffers[c_buf.id]
+            .take()
+            .ok_or(GpuError::InvalidBuffer { id: c_buf.id })?;
         {
             let a_data = st.buffers[a_buf.id].as_ref().unwrap();
             rlchol_dense::syrk_ln(
@@ -412,9 +411,9 @@ impl Gpu {
             Self::check_range(&st, b_buf, b_off, (k - 1) * ldb + n)?;
             Self::check_range(&st, c_buf, c_off, (n - 1) * ldc + m)?;
         }
-        let mut c_data = st.buffers[c_buf.id].take().ok_or(GpuError::InvalidBuffer {
-            id: c_buf.id,
-        })?;
+        let mut c_data = st.buffers[c_buf.id]
+            .take()
+            .ok_or(GpuError::InvalidBuffer { id: c_buf.id })?;
         {
             let a_data = st.buffers[a_buf.id].as_ref().unwrap();
             let b_data = st.buffers[b_buf.id].as_ref().unwrap();
@@ -454,10 +453,7 @@ mod tests {
     fn alloc_tracks_capacity_and_oom() {
         let gpu = small_gpu(1024); // 128 doubles
         let b1 = gpu.alloc(100).unwrap();
-        assert!(matches!(
-            gpu.alloc(50),
-            Err(GpuError::OutOfMemory { .. })
-        ));
+        assert!(matches!(gpu.alloc(50), Err(GpuError::OutOfMemory { .. })));
         gpu.free(b1).unwrap();
         let b2 = gpu.alloc(120).unwrap();
         assert_eq!(gpu.stats().peak_bytes, 120 * 8);
@@ -513,7 +509,8 @@ mod tests {
         let abuf = gpu.alloc(n * k).unwrap();
         let cbuf = gpu.alloc(n * n).unwrap();
         gpu.memcpy_h2d(s, abuf, 0, &a).unwrap();
-        gpu.syrk(s, abuf, 0, n, n, k, -1.0, 0.0, cbuf, 0, n).unwrap();
+        gpu.syrk(s, abuf, 0, n, n, k, -1.0, 0.0, cbuf, 0, n)
+            .unwrap();
         let mut c_dev = vec![0.0; n * n];
         gpu.memcpy_d2h(s, cbuf, 0, &mut c_dev).unwrap();
         let mut c_ref = vec![0.0; n * n];

@@ -133,7 +133,11 @@ pub fn perturbed_grid3d(
             (c as i64 + d).clamp(0, n as i64 - 1) as usize
         };
         let u = idx(x, y, z);
-        let v = idx(jump(x, nx, &mut rng), jump(y, ny, &mut rng), jump(z, nz, &mut rng));
+        let v = idx(
+            jump(x, nx, &mut rng),
+            jump(y, ny, &mut rng),
+            jump(z, nz, &mut rng),
+        );
         if u != v {
             edges.push((u.max(v), u.min(v)));
         }

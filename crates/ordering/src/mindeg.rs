@@ -81,7 +81,13 @@ pub fn min_degree(g: &Graph) -> Permutation {
 
         // Form the new element: the pivot's reachable set.
         let lp = reach(
-            p, &adj, &elem_vars, &var_elems, &eliminated, &mut mark, &mut tag,
+            p,
+            &adj,
+            &elem_vars,
+            &var_elems,
+            &eliminated,
+            &mut mark,
+            &mut tag,
         );
         let absorbed: Vec<usize> = var_elems[p].clone();
         elem_vars[p] = lp.clone();
@@ -106,7 +112,13 @@ pub fn min_degree(g: &Graph) -> Permutation {
             var_elems[v].push(p);
             // Exact new degree.
             let d = reach(
-                v, &adj, &elem_vars, &var_elems, &eliminated, &mut mark, &mut tag,
+                v,
+                &adj,
+                &elem_vars,
+                &var_elems,
+                &eliminated,
+                &mut mark,
+                &mut tag,
             )
             .len();
             stamp[v] += 1;

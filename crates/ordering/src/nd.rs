@@ -66,10 +66,9 @@ fn dissect(g: &Graph, vertices: &[usize], opts: &NdOptions, out: &mut Vec<usize>
         let (comp_graph, comp_globals) = sub.induced_subgraph(&comp);
         match bisect(&comp_graph, opts) {
             Some((a, b, sep)) => {
-                let to_global =
-                    |locals: &[usize]| -> Vec<usize> {
-                        locals.iter().map(|&l| globals[comp_globals[l]]).collect()
-                    };
+                let to_global = |locals: &[usize]| -> Vec<usize> {
+                    locals.iter().map(|&l| globals[comp_globals[l]]).collect()
+                };
                 dissect(g, &to_global(&a), opts, out);
                 dissect(g, &to_global(&b), opts, out);
                 // Separator vertices are eliminated last; order them by
@@ -209,7 +208,7 @@ mod tests {
         assert_eq!(a.len() + b.len() + s.len(), 100);
         assert!(!a.is_empty() && !b.is_empty());
         // No direct A-B edge.
-        let mut side = vec![2u8; 100];
+        let mut side = [2u8; 100];
         for &v in &a {
             side[v] = 0;
         }

@@ -108,9 +108,8 @@ mod tests {
         let c = perlmutter_cpu(8);
         let tiny = TraceOp::Syrk { n: 16, k: 8 };
         // GPU path also pays transfers of the operands.
-        let gpu_total = g.kernel_time(&tiny)
-            + g.transfer_time(8 * 16 * 8)
-            + g.transfer_time(8 * 16 * 16);
+        let gpu_total =
+            g.kernel_time(&tiny) + g.transfer_time(8 * 16 * 8) + g.transfer_time(8 * 16 * 16);
         assert!(gpu_total > c.op_time(&tiny));
     }
 

@@ -3,10 +3,7 @@
 use std::io::Write;
 
 /// Writes rows of string-like cells as CSV to `w`.
-pub fn write_csv<W: Write, S: AsRef<str>>(
-    w: &mut W,
-    rows: &[Vec<S>],
-) -> std::io::Result<()> {
+pub fn write_csv<W: Write, S: AsRef<str>>(w: &mut W, rows: &[Vec<S>]) -> std::io::Result<()> {
     for row in rows {
         let line: Vec<String> = row.iter().map(|c| escape(c.as_ref())).collect();
         writeln!(w, "{}", line.join(","))?;

@@ -54,11 +54,7 @@ impl PerformanceProfile {
         self.times
             .iter()
             .map(|row| {
-                let best = row
-                    .iter()
-                    .flatten()
-                    .cloned()
-                    .fold(f64::INFINITY, f64::min);
+                let best = row.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
                 row[s].map(|t| t / best)
             })
             .collect()

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`] and the `criterion_group!` /
+//! `criterion_main!` macros — as a plain wall-clock harness: warm up,
+//! then repeat the routine until the measurement window closes and
+//! report the mean time per iteration (plus derived throughput).
+//!
+//! No statistics, HTML reports or command-line filtering: the value here
+//! is that `cargo bench` runs offline and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink (stable-Rust best effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle passed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark (criterion compatibility).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(BenchmarkId::from(name.into()), &mut f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units the per-iteration throughput is derived from.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Abstract elements (flops, entries) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on timed iterations (criterion compatibility; the
+    /// harness keeps iterating until the measurement window closes).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target duration of the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in the report line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_iters: self.sample_size,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Prints nothing extra; criterion compatibility.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut line = format!(
+            "bench {full:<44} {:>12}  ({} iterations)",
+            format_ns(b.mean_ns),
+            b.iters
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = match t {
+                Throughput::Elements(e) => e as f64 / (b.mean_ns * 1e-9),
+                Throughput::Bytes(e) => e as f64 / (b.mean_ns * 1e-9),
+            };
+            let unit = match t {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            line.push_str(&format!("  {:.3e} {unit}", per_sec));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Measures one routine: warm-up, then timed iterations.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_iters: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up window closes.
+        let wu = Instant::now();
+        while wu.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measure until the window closes and the minimum sample count is
+        // reached.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement || (iters as usize) < self.min_iters {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Collects benchmark functions into a runnable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each group (criterion compatibility).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("potrf", 64).id, "potrf/64");
+        assert_eq!(BenchmarkId::from_parameter(512).id, "512");
+    }
+}

@@ -132,7 +132,12 @@ impl TripletMatrix {
         for j in 0..n {
             let (lo, hi) = (colptr[j], colptr[j + 1]);
             scratch.clear();
-            scratch.extend(rowind[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.extend(
+                rowind[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(r, _)| r);
             let col_start = write;
             for &(r, v) in scratch.iter() {

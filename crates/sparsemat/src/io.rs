@@ -265,7 +265,10 @@ mod tests {
         let a = m.to_sym().unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &a).unwrap();
-        let b = parse_matrix_market(buf.as_slice()).unwrap().to_sym().unwrap();
+        let b = parse_matrix_market(buf.as_slice())
+            .unwrap()
+            .to_sym()
+            .unwrap();
         assert_eq!(a, b);
     }
 

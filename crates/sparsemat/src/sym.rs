@@ -104,9 +104,7 @@ impl SymCsc {
             let rows = as_csc.col_rows(j);
             match rows.first() {
                 Some(&first) if first == j => {}
-                Some(&first) if first > j => {
-                    return Err(SparseError::MissingDiagonal { col: j })
-                }
+                Some(&first) if first > j => return Err(SparseError::MissingDiagonal { col: j }),
                 Some(&first) => {
                     return Err(SparseError::UpperEntry { row: first, col: j });
                 }

@@ -34,7 +34,8 @@ pub fn row_blocks(rows: &[usize], sn: &SupernodePartition) -> Vec<RowBlock> {
         let mut len = 1usize;
         while k + len < rows.len()
             && rows[k + len] == first + len // consecutive
-            && rows[k + len] < target_end // same ancestor supernode
+            && rows[k + len] < target_end
+        // same ancestor supernode
         {
             len += 1;
         }
@@ -64,7 +65,15 @@ mod tests {
         let sn = SupernodePartition::from_starts(vec![0, 4, 10]);
         let b = row_blocks(&[4, 5, 6], &sn);
         assert_eq!(b.len(), 1);
-        assert_eq!(b[0], RowBlock { offset: 0, len: 3, first: 4, target: 1 });
+        assert_eq!(
+            b[0],
+            RowBlock {
+                offset: 0,
+                len: 3,
+                first: 4,
+                target: 1
+            }
+        );
     }
 
     #[test]

@@ -66,9 +66,7 @@ pub fn col_counts_reference(a: &SymCsc, etree: &EliminationTree) -> Vec<usize> {
             }
         }
         // Merge children structures (minus j itself).
-        let children: Vec<usize> = (0..j)
-            .filter(|&c| etree.parent[c] == j)
-            .collect();
+        let children: Vec<usize> = (0..j).filter(|&c| etree.parent[c] == j).collect();
         for c in children {
             for &i in &structs[c] {
                 if i > j && mark[i] != j {

@@ -188,7 +188,10 @@ mod tests {
         let r = refine_partition(&sn, &rows);
         for j in 0..6 {
             let old = r.perm.old_of(j);
-            assert_eq!(sn.col_to_sn[j], sn.col_to_sn[old], "column crossed supernode");
+            assert_eq!(
+                sn.col_to_sn[j], sn.col_to_sn[old],
+                "column crossed supernode"
+            );
         }
     }
 

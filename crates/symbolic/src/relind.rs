@@ -45,6 +45,28 @@ pub fn relative_indices(
     out
 }
 
+/// Relative index of a single global row `i` inside the target's index
+/// list — the allocation-free form of [`relative_indices`] for callers
+/// that need one generalized index per block (the RLB update loop).
+///
+/// Same invariant as [`relative_indices`]: `i` must be present in the
+/// target's column range or row list.
+#[inline]
+pub fn relative_index_of(i: usize, p_first: usize, p_ncols: usize, p_rows: &[usize]) -> usize {
+    let p_end = p_first + p_ncols;
+    if i < p_end {
+        debug_assert!(i >= p_first, "index {i} above target supernode");
+        i - p_first
+    } else {
+        let pos = p_rows.partition_point(|&r| r < i);
+        debug_assert!(
+            pos < p_rows.len() && p_rows[pos] == i,
+            "index {i} missing from target rows"
+        );
+        p_ncols + pos
+    }
+}
+
 /// Converts top-based relative indices into the paper's "distance from the
 /// bottom" convention for an index list of total length `list_len`.
 pub fn generalized_from_bottom(relind: &[usize], list_len: usize) -> Vec<usize> {
@@ -107,5 +129,14 @@ mod tests {
     #[test]
     fn empty_sub_is_empty() {
         assert!(relative_indices(&[], 0, 4, &[9, 11]).is_empty());
+    }
+
+    #[test]
+    fn single_index_matches_bulk() {
+        let p_rows = [12, 13, 14, 20, 31];
+        for &i in &[4, 5, 6, 12, 14, 20, 31] {
+            let bulk = relative_indices(&[i], 4, 3, &p_rows)[0];
+            assert_eq!(relative_index_of(i, 4, 3, &p_rows), bulk, "i={i}");
+        }
     }
 }

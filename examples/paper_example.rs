@@ -61,7 +61,12 @@ fn main() {
     println!("\nFigure 2 — update matrix of J1 (rows/cols indexed by J1's rows):");
     let j1 = 0;
     let below: Vec<usize> = rows[j1].iter().map(|&r| r + 1).collect();
-    println!("  U_J1 is {}x{} over global rows {:?}", below.len(), below.len(), below);
+    println!(
+        "  U_J1 is {}x{} over global rows {:?}",
+        below.len(),
+        below.len(),
+        below
+    );
     println!("  (entries L[i, J1] . L[j, J1]^T for i >= j in that set)");
 
     // Relative indices: where J1's rows land inside J3 and J6.
@@ -74,9 +79,7 @@ fn main() {
         let sub: Vec<usize> = rows[j1]
             .iter()
             .copied()
-            .filter(|&r| {
-                r >= p_first && (r < sn.end_col(p) || p_rows.binary_search(&r).is_ok())
-            })
+            .filter(|&r| r >= p_first && (r < sn.end_col(p) || p_rows.binary_search(&r).is_ok()))
             .collect();
         if sub.is_empty() {
             continue;

@@ -62,7 +62,9 @@ fn main() {
 
     let solver = chosen.unwrap();
     let n = a.n();
-    let b: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i * 7919) % 1000) as f64 / 1000.0)
+        .collect();
     let (x, resid) = solver.solve_refined(&a, &b, 3);
     println!(
         "\nsolved with nested dissection: refined residual {resid:.3e} (n = {}, |x|_inf = {:.3})",

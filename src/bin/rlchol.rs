@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural]
-//! rlchol factor  <matrix.mtx> [--method rl|rlb|ll|mf|rl-gpu|rlb-gpu] [--ordering ...]
+//! rlchol factor  <matrix.mtx> [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu] [--ordering ...]
 //! rlchol solve   <matrix.mtx> [--method ...]   # b = A·1, reports errors
 //! rlchol spy     <matrix.mtx> [--size N]       # ASCII sparsity plot
 //! ```
@@ -19,7 +19,7 @@ use rlchol::{CholeskySolver, OrderingMethod, SolverOptions, SymCsc};
 fn usage() -> ! {
     eprintln!(
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
-         [--method rl|rlb|ll|mf|rl-gpu|rlb-gpu] [--ordering nd|md|rcm|natural] [--size N]"
+         [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu] [--ordering nd|md|rcm|natural] [--size N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +46,8 @@ fn parse_args() -> Args {
                 method = match value.as_str() {
                     "rl" => Method::RlCpu,
                     "rlb" => Method::RlbCpu,
+                    "rl-par" => Method::RlCpuPar,
+                    "rlb-par" => Method::RlbCpuPar,
                     "ll" => Method::LlCpu,
                     "mf" => Method::MfCpu,
                     "rl-gpu" => Method::RlGpu,
@@ -104,12 +106,15 @@ fn main() {
     println!("matrix: n = {}, nnz(lower) = {}", a.n(), a.nnz_lower());
     match args.cmd.as_str() {
         "spy" => {
-            println!("{}", spy_lower(a.n(), args.size, |j| a.col_rows(j).to_vec()));
+            println!(
+                "{}",
+                spy_lower(a.n(), args.size, |j| a.col_rows(j).to_vec())
+            );
         }
         "analyze" => {
             let t0 = std::time::Instant::now();
-            let solver = CholeskySolver::factor(&a, &solver_options(&args))
-                .unwrap_or_else(|e| fail(e));
+            let solver =
+                CholeskySolver::factor(&a, &solver_options(&args)).unwrap_or_else(|e| fail(e));
             let sym = solver.symbolic();
             println!("ordering: {:?}", args.ordering);
             println!("supernodes: {}", sym.nsup());
@@ -124,15 +129,21 @@ fn main() {
             );
             println!(
                 "largest supernode: {} entries; largest update matrix: {} entries",
-                (0..sym.nsup()).map(|s| sym.sn_storage(s)).max().unwrap_or(0),
+                (0..sym.nsup())
+                    .map(|s| sym.sn_storage(s))
+                    .max()
+                    .unwrap_or(0),
                 sym.max_update_matrix_entries()
             );
-            println!("wall time (incl. numeric factor): {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+            println!(
+                "wall time (incl. numeric factor): {:.1} ms",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
         }
         "factor" => {
             let t0 = std::time::Instant::now();
-            let solver = CholeskySolver::factor(&a, &solver_options(&args))
-                .unwrap_or_else(|e| fail(e));
+            let solver =
+                CholeskySolver::factor(&a, &solver_options(&args)).unwrap_or_else(|e| fail(e));
             println!(
                 "factored with {} in {:.1} ms (nnz(L) = {})",
                 args.method.label(),
@@ -147,16 +158,14 @@ fn main() {
             }
         }
         "solve" => {
-            let solver = CholeskySolver::factor(&a, &solver_options(&args))
-                .unwrap_or_else(|e| fail(e));
+            let solver =
+                CholeskySolver::factor(&a, &solver_options(&args)).unwrap_or_else(|e| fail(e));
             // Manufactured b = A · 1.
             let ones = vec![1.0; a.n()];
             let mut b = vec![0.0; a.n()];
             a.matvec(&ones, &mut b);
             let (x, resid) = solver.solve_refined(&a, &b, 2);
-            let err = x
-                .iter()
-                .fold(0.0f64, |m, &v| m.max((v - 1.0).abs()));
+            let err = x.iter().fold(0.0f64, |m, &v| m.max((v - 1.0).abs()));
             println!("solve: max |x - 1| = {err:.3e}, refined residual = {resid:.3e}");
         }
         _ => usage(),

@@ -42,8 +42,15 @@
 //! | [`gpu`] | the simulated GPU runtime (streams, events, device memory) |
 //! | [`perfmodel`] | calibrated CPU/GPU cost models and traces |
 //! | [`matgen`] | SPD generators and the paper's 21-matrix synthetic suite |
-//! | [`core`] | the RL/RLB engines, hybrid dispatch, solves, [`CholeskySolver`] |
+//! | [`core`] | the RL/RLB engines (serial + task-parallel), hybrid dispatch, solves, [`CholeskySolver`] |
 //! | [`report`] | performance profiles, tables, plots |
+//!
+//! ## Threads
+//!
+//! The task-parallel engines ([`Method::RlCpuPar`], [`Method::RlbCpuPar`])
+//! and the striped dense kernels share one persistent work-stealing pool,
+//! sized by the **`RLCHOL_THREADS`** environment variable (positive
+//! integer) or, when unset, by [`std::thread::available_parallelism`].
 
 pub use rlchol_core as core;
 pub use rlchol_dense as dense;

@@ -34,7 +34,10 @@ fn every_method_solves_every_family() {
         ("grid3d", grid3d(6, 5, 4, Stencil::Star7, 1, 2)),
         ("grid3d-3dof", grid3d(4, 4, 4, Stencil::Star7, 3, 3)),
         ("star27", grid3d(5, 5, 5, Stencil::Star27, 1, 4)),
-        ("perturbed", perturbed_grid3d(5, 5, 5, Stencil::Star7, 1, 0.3, 5)),
+        (
+            "perturbed",
+            perturbed_grid3d(5, 5, 5, Stencil::Star7, 1, 0.3, 5),
+        ),
         ("kkt", kkt3d(4, 6)),
     ];
     let methods = [

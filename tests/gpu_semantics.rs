@@ -117,7 +117,10 @@ fn kernel_cost_model_reflects_shapes() {
     // MAGMA-like tiny-call inefficiency)...
     assert!(small >= floor && small < 1.05 * floor);
     // ...while the flop term dominates once kernels are large.
-    assert!(large - floor > 10.0 * floor, "large kernels must dominate the floor");
+    assert!(
+        large - floor > 10.0 * floor,
+        "large kernels must dominate the floor"
+    );
 }
 
 #[test]

@@ -20,7 +20,7 @@ fn arb_spd() -> impl Strategy<Value = SymCsc> {
         };
         let mut t = TripletMatrix::new(n, n);
         let mut diag = vec![1.0f64; n];
-        let mut add_edge = |t: &mut TripletMatrix, diag: &mut Vec<f64>, i: usize, j: usize| {
+        let add_edge = |t: &mut TripletMatrix, diag: &mut Vec<f64>, i: usize, j: usize| {
             if i == j {
                 return;
             }
