@@ -37,6 +37,7 @@ fn bench_factorization(c: &mut Criterion) {
         machine: MachineModel::perlmutter(64).scale_compute(24.0),
         threshold: 20_000,
         overlap: true,
+        streams: 0,
     };
     g.bench_function("rl_gpu_sim", |b| {
         b.iter(|| factor_rl_gpu(&sym, &a, &opts).unwrap())

@@ -1,0 +1,130 @@
+//! Stream-count sweep of the pipelined multi-stream GPU engines on a
+//! 3-D grid problem (nested-dissection ordered, so the supernodal
+//! elimination tree has real breadth to pipeline over).
+//!
+//! Prints a table and writes `BENCH_gpu_streams.json` (simulated elapsed
+//! seconds plus per-stream utilization for each configuration) so
+//! successive PRs can track the pipelining trajectory. The acceptance
+//! shape: elapsed strictly decreasing from 1 to 2 streams.
+//!
+//! Usage: `gpu_streams [k] [out.json]` — `k` is the grid edge (default
+//! 20; use a smaller k for a quick smoke run). Everything is offloaded
+//! (threshold 0), the regime where the device pipeline matters most.
+
+use rlchol_core::engine::{GpuOptions, GpuRun, Method};
+use rlchol_core::sched::{factor_rl_gpu_pipe, factor_rlb_gpu_pipe};
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_ordering::{order, OrderingMethod};
+use rlchol_symbolic::{analyze, SymbolicOptions};
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args
+        .next()
+        .map(|v| v.parse().expect("grid edge must be an integer"))
+        .unwrap_or(20);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_gpu_streams.json".to_string());
+
+    let name = format!("grid3d({k}, {k}, {k}, Star7)");
+    eprintln!("generating {name} ...");
+    let a0 = grid3d(k, k, k, Stencil::Star7, 1, 33);
+    let fill = order(&a0, OrderingMethod::NestedDissection);
+    let af = a0.permute(&fill);
+    let sym = analyze(&af, &SymbolicOptions::default());
+    let a = af.permute(&sym.perm);
+    eprintln!(
+        "n = {}, supernodes = {}, factor nnz = {}, flops = {:.3e}",
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        sym.flops
+    );
+
+    let utilization = |run: &GpuRun| -> (f64, f64) {
+        let per = run.stats.stream_utilization(run.sim_seconds);
+        let mean = if per.is_empty() {
+            0.0
+        } else {
+            per.iter().sum::<f64>() / per.len() as f64
+        };
+        let max = per.iter().fold(0.0f64, |m, &u| m.max(u));
+        (mean, max)
+    };
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}",
+        "streams", "RL_G(pipe)", "RLB_G(pipe)", "RL x", "util mean", "util max"
+    );
+    let mut rows = Vec::new();
+    let mut rl_base = f64::NAN;
+    for streams in SWEEP {
+        let opts = GpuOptions::with_threshold(0).with_streams(streams);
+        let rl = factor_rl_gpu_pipe(&sym, &a, &opts).expect("SPD");
+        let rlb = factor_rlb_gpu_pipe(&sym, &a, &opts).expect("SPD");
+        assert_eq!(rl.streams_used, streams, "no OOM expected in the sweep");
+        if streams == 1 {
+            rl_base = rl.sim_seconds;
+        }
+        let (rl_mean, rl_max) = utilization(&rl);
+        let (rlb_mean, rlb_max) = utilization(&rlb);
+        println!(
+            "{streams:>8}  {:>12.6}  {:>12.6}  {:>8.2}  {rl_mean:>10.3}  {rl_max:>10.3}",
+            rl.sim_seconds,
+            rlb.sim_seconds,
+            rl_base / rl.sim_seconds,
+        );
+        let fmt_util = |per: &[f64]| -> String {
+            per.iter()
+                .map(|u| format!("{u:.4}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\"streams\": {}, \"rl_pipe_s\": {:.9}, \"rlb_pipe_s\": {:.9}, ",
+                "\"rl_speedup\": {:.4}, ",
+                "\"rl_util_mean\": {:.4}, \"rl_util_max\": {:.4}, ",
+                "\"rlb_util_mean\": {:.4}, \"rlb_util_max\": {:.4}, ",
+                "\"rl_stream_util\": [{}], \"rlb_stream_util\": [{}]}}"
+            ),
+            streams,
+            rl.sim_seconds,
+            rlb.sim_seconds,
+            rl_base / rl.sim_seconds,
+            rl_mean,
+            rl_max,
+            rlb_mean,
+            rlb_max,
+            fmt_util(&rl.stats.stream_utilization(rl.sim_seconds)),
+            fmt_util(&rlb.stats.stream_utilization(rlb.sim_seconds)),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"matrix\": \"{}\",\n",
+            "  \"n\": {},\n",
+            "  \"supernodes\": {},\n",
+            "  \"factor_nnz\": {},\n",
+            "  \"flops\": {:.6e},\n",
+            "  \"label\": \"{}\",\n",
+            "  \"threshold\": 0,\n",
+            "  \"sweep\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        name,
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        sym.flops,
+        Method::RlGpuPipe.label(),
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("writing stream-sweep JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -7,7 +7,7 @@
 //! must fail with a device out-of-memory (its RL update matrix exceeds
 //! the scaled device capacity), reproducing the blank row of Table I.
 
-use rlchol_bench::{cpu_baseline, gpu_options, prepare, run_gpu};
+use rlchol_bench::{cpu_baseline, gpu_options, prepare, run_gpu, stream_breakdown};
 use rlchol_core::engine::Method;
 use rlchol_core::FactorError;
 use rlchol_matgen::paper_suite;
@@ -35,6 +35,7 @@ fn main() {
     ]);
     let mut speedups: Vec<(String, f64)> = Vec::new();
     let mut oom_names: Vec<&str> = Vec::new();
+    let mut breakdowns: Vec<String> = Vec::new();
     for entry in paper_suite() {
         let p = prepare(&entry);
         let (best_cpu, _, _) = cpu_baseline(&p);
@@ -47,6 +48,7 @@ fn main() {
             Ok(run) => {
                 let speedup = best_cpu / run.sim_seconds;
                 speedups.push((entry.name.to_string(), speedup));
+                breakdowns.push(format!("{}:\n{}", entry.name, stream_breakdown(&run)));
                 t.row(vec![
                     entry.name.to_string(),
                     format!("{:.3}", run.sim_seconds),
@@ -98,4 +100,8 @@ fn main() {
         "matrices failing with device OOM: {:?} (paper: nlpkkt120 — largest update matrix too big for the GPU)",
         oom_names
     );
+    println!("\nper-stream device timelines (stream 0 = compute, 1 = copy):");
+    for b in &breakdowns {
+        println!("{b}");
+    }
 }

@@ -95,6 +95,7 @@ pub fn gpu_options(cfg: &SuiteConfig, threshold: usize) -> GpuOptions {
             .with_gpu_capacity(cfg.gpu_capacity_bytes),
         threshold,
         overlap: true,
+        streams: 0,
     }
 }
 
@@ -108,8 +109,33 @@ pub fn run_gpu(
         Method::RlGpu => factor_rl_gpu(&p.sym, &p.a_fact, opts),
         Method::RlbGpuV1 => factor_rlb_gpu(&p.sym, &p.a_fact, opts, RlbGpuVersion::V1),
         Method::RlbGpuV2 => factor_rlb_gpu(&p.sym, &p.a_fact, opts, RlbGpuVersion::V2),
+        Method::RlGpuPipe => rlchol_core::sched::factor_rl_gpu_pipe(&p.sym, &p.a_fact, opts),
+        Method::RlbGpuPipe => rlchol_core::sched::factor_rlb_gpu_pipe(&p.sym, &p.a_fact, opts),
         _ => panic!("run_gpu called with a CPU method"),
     }
+}
+
+/// Renders a run's per-stream kernel/transfer breakdown, one indented
+/// line per stream with its utilization over the simulated elapsed time.
+pub fn stream_breakdown(run: &GpuRun) -> String {
+    let utils = run.stats.stream_utilization(run.sim_seconds);
+    run.stats
+        .per_stream
+        .iter()
+        .zip(&utils)
+        .enumerate()
+        .map(|(i, (st, util))| {
+            format!(
+                "  stream {i}: {} kernels ({:.4} s), {} transfers ({:.4} s), util {:.1}%",
+                st.kernel_launches,
+                st.kernel_seconds,
+                st.transfer_count,
+                st.transfer_seconds,
+                util * 100.0
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Counts supernodes at or above the offload threshold.

@@ -87,6 +87,48 @@ pub(crate) fn scatter_segment(
     entries
 }
 
+/// Pool-parallel assembly: each target supernode's segment is scattered
+/// by a job on the persistent [`rlchol_dense::pool`], so the GPU engines'
+/// host-side assembly overlaps across cores without per-call thread
+/// spawns. Targets appear in increasing order, so progressive
+/// `split_at_mut` hands each job a disjoint `&mut` array.
+///
+/// Bit-exactness: every entry is written by exactly the same subtraction,
+/// in the same per-segment order, as [`assemble_update`] — segments only
+/// move between lanes, so the result is bit-identical to the serial
+/// scatter (unlike striped BLAS, where summation order may shift).
+pub fn assemble_update_pool(
+    sym: &SymbolicFactor,
+    data: &mut [Vec<f64>],
+    s: usize,
+    upd: &[f64],
+    r: usize,
+) -> usize {
+    let segs = segments(sym, s);
+    if rlchol_dense::pool::global().threads() <= 1 || segs.len() <= 1 {
+        return assemble_update(sym, data, s, upd, r);
+    }
+    let rows = &sym.rows[s];
+    let total: std::sync::atomic::AtomicUsize = 0.into();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(segs.len());
+    let mut rest: &mut [Vec<f64>] = data;
+    let mut consumed = 0usize;
+    for seg in &segs {
+        let (head, tail) = rest.split_at_mut(seg.target - consumed + 1);
+        let target_arr = head.last_mut().expect("nonempty split");
+        rest = tail;
+        consumed = seg.target + 1;
+        let total = &total;
+        let seg = *seg;
+        tasks.push(Box::new(move || {
+            let e = scatter_segment(sym, target_arr, seg, rows, upd, r);
+            total.fetch_add(e, std::sync::atomic::Ordering::Relaxed);
+        }));
+    }
+    rlchol_dense::pool::global().run(tasks);
+    total.into_inner()
+}
+
 /// Parallel assembly: each target supernode's segment is scattered by a
 /// scoped thread. Targets appear in increasing order, so progressive
 /// `split_at_mut` hands each thread a disjoint `&mut` array.
@@ -168,6 +210,26 @@ mod tests {
         let e2 = assemble_update_par(&sym, &mut d2.sn, s, &upd, r, 4);
         assert_eq!(e1, e2);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn pool_assembly_is_bit_identical_to_serial() {
+        let (sym, ap) = fig1_sym();
+        for s in 0..sym.nsup() {
+            let r = sym.rows[s].len();
+            if r == 0 {
+                continue;
+            }
+            let upd: Vec<f64> = (0..r * r)
+                .map(|i| ((i * 13) % 11) as f64 * 0.3 - 1.0)
+                .collect();
+            let mut d1 = FactorData::load(&sym, &ap);
+            let mut d2 = d1.clone();
+            let e1 = assemble_update(&sym, &mut d1.sn, s, &upd, r);
+            let e2 = assemble_update_pool(&sym, &mut d2.sn, s, &upd, r);
+            assert_eq!(e1, e2, "supernode {s}");
+            assert_eq!(d1, d2, "supernode {s} must match bitwise");
+        }
     }
 
     #[test]

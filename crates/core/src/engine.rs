@@ -29,6 +29,10 @@ pub enum Method {
     RlbGpuV1,
     /// GPU-accelerated RLB, per-block transfers (second version, §III).
     RlbGpuV2,
+    /// Pipelined multi-stream GPU-RL over the elimination-tree frontier.
+    RlGpuPipe,
+    /// Pipelined multi-stream GPU-RLB over the elimination-tree frontier.
+    RlbGpuPipe,
 }
 
 impl Method {
@@ -44,6 +48,8 @@ impl Method {
             Method::RlGpu => "RL_G",
             Method::RlbGpuV1 => "RLB_G(v1)",
             Method::RlbGpuV2 => "RLB_G",
+            Method::RlGpuPipe => "RL_G(pipe)",
+            Method::RlbGpuPipe => "RLB_G(pipe)",
         }
     }
 }
@@ -100,6 +106,12 @@ pub struct GpuOptions {
     /// Allow the asynchronous copy-back to overlap host work (on by
     /// default; off is the ablation in E-THRESH/DESIGN §4).
     pub overlap: bool,
+    /// Compute/copy stream pairs for the pipelined engines
+    /// ([`Method::RlGpuPipe`], [`Method::RlbGpuPipe`]); `0` resolves to
+    /// `RLCHOL_STREAMS` / its default (see
+    /// [`rlchol_gpu::default_streams`]). The single-stream engines
+    /// ignore it.
+    pub streams: usize,
 }
 
 impl GpuOptions {
@@ -109,7 +121,14 @@ impl GpuOptions {
             machine: MachineModel::perlmutter(16),
             threshold,
             overlap: true,
+            streams: 0,
         }
+    }
+
+    /// The same options with an explicit stream-pair count.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
     }
 }
 
@@ -124,6 +143,10 @@ pub struct GpuRun {
     pub stats: GpuStats,
     /// Supernodes whose BLAS ran on the device.
     pub sn_on_gpu: usize,
+    /// Compute/copy stream pairs actually used (1 for the single-stream
+    /// engines; the pipelined engines may have shed pairs to fit device
+    /// memory).
+    pub streams_used: usize,
     /// Real wall-clock duration of this process's execution.
     pub wall: Duration,
 }

@@ -9,7 +9,9 @@
 //!    a second stream — the host does not need it yet;
 //! 4. one coarse DSYRK on the device forms the full update matrix;
 //! 5. transfer the update matrix back and assemble it on the host
-//!    (OpenMP-parallel in the paper, costed through the CPU model here).
+//!    (OpenMP-parallel in the paper; here the scatter fans out across
+//!    `rlchol_dense::pool`, one job per target, with the simulated cost
+//!    still taken from the CPU model).
 //!
 //! Supernodes below the threshold run entirely on the CPU — the transfer
 //! cost would exceed their compute time.
@@ -27,7 +29,7 @@ use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
 
-use crate::assemble::assemble_update;
+use crate::assemble::assemble_update_pool;
 use crate::engine::{factor_panel, GpuOptions, GpuRun};
 use crate::error::FactorError;
 use crate::storage::FactorData;
@@ -102,7 +104,7 @@ pub fn factor_rl_gpu(
                     syrk_ln(r, c, 1.0, &arr[c..], len, 0.0, ws, r);
                 }
                 gpu.host_compute(cpu.op_time(&TraceOp::Syrk { n: r, k: c }));
-                let entries = assemble_update(sym, &mut data.sn, s, &host_upd[..r * r], r);
+                let entries = assemble_update_pool(sym, &mut data.sn, s, &host_upd[..r * r], r);
                 gpu.host_compute(cpu.op_time(&TraceOp::Assemble { entries }));
             }
             continue;
@@ -129,7 +131,7 @@ pub fn factor_rl_gpu(
             gpu.memcpy_d2h(compute, upd_buf, 0, &mut host_upd[..r * r])?;
             // The host needs the update matrix now.
             gpu.sync_stream(compute);
-            let entries = assemble_update(sym, &mut data.sn, s, &host_upd[..r * r], r);
+            let entries = assemble_update_pool(sym, &mut data.sn, s, &host_upd[..r * r], r);
             gpu.host_compute(cpu.op_time(&TraceOp::Assemble { entries }));
         }
     }
@@ -139,6 +141,7 @@ pub fn factor_rl_gpu(
         sim_seconds: gpu.elapsed(),
         stats: gpu.stats(),
         sn_on_gpu,
+        streams_used: 1,
         wall: t0.elapsed(),
     })
 }
@@ -153,7 +156,7 @@ fn host_upd_grow(buf: &mut Vec<f64>, r: usize) -> &mut [f64] {
 }
 
 /// Maps a device-side POTRF failure to the factorization error type.
-fn map_device_pivot(first_col: usize) -> impl Fn(rlchol_gpu::GpuError) -> FactorError {
+pub(crate) fn map_device_pivot(first_col: usize) -> impl Fn(rlchol_gpu::GpuError) -> FactorError {
     move |e| match e {
         rlchol_gpu::GpuError::Numerical(_) => {
             FactorError::NotPositiveDefinite { column: first_col }

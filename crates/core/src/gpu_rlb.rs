@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use rlchol_dense::{gemm_nt, syrk_ln};
+use rlchol_dense::{gemm_nt, pool, syrk_ln};
 use rlchol_gpu::{Buffer, Event, Gpu, StreamId};
 use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
@@ -33,6 +33,7 @@ use rlchol_symbolic::SymbolicFactor;
 use crate::engine::{factor_panel, GpuOptions, GpuRun};
 use crate::error::FactorError;
 use crate::gpu_rl::offload_set;
+use crate::rlb::{rlb_run_updates, rlb_target_runs};
 use crate::storage::FactorData;
 
 /// Which RLB GPU variant to run.
@@ -46,18 +47,18 @@ pub enum RlbGpuVersion {
 
 /// A block-pair update strip: the `m × n` update `L[B′, B]` (`B′ = B`
 /// gives the diagonal strip, of which only the lower triangle is used).
-struct Strip {
-    b1: usize,
-    b2: usize,
-    m: usize,
-    n: usize,
+pub(crate) struct Strip {
+    pub(crate) b1: usize,
+    pub(crate) b2: usize,
+    pub(crate) m: usize,
+    pub(crate) n: usize,
     /// Offset in the compacted staging buffer (v1) or 0 (v2).
-    stage_off: usize,
+    pub(crate) stage_off: usize,
 }
 
 /// Enumerates the update strips of a supernode and the compacted staging
 /// size (the v1 device/host footprint for that supernode).
-fn strips_of(blocks: &[RowBlock]) -> (Vec<Strip>, usize) {
+pub(crate) fn strips_of(blocks: &[RowBlock]) -> (Vec<Strip>, usize) {
     let mut strips = Vec::new();
     let mut off = 0usize;
     for (b1, blk) in blocks.iter().enumerate() {
@@ -100,12 +101,12 @@ fn split_blocks(blocks: &[RowBlock], chunk: usize) -> Vec<RowBlock> {
     out
 }
 
-/// Applies one host-side strip into the ancestor holding block `b1`.
-/// Returns the entries touched (assembly cost metric).
-#[allow(clippy::too_many_arguments)]
-fn apply_strip(
+/// Applies one host-side strip into `parr`, the storage of the ancestor
+/// holding block `b1`. Returns the entries touched (assembly cost
+/// metric).
+pub(crate) fn apply_strip(
     sym: &SymbolicFactor,
-    data: &mut [Vec<f64>],
+    parr: &mut [f64],
     blocks: &[RowBlock],
     strip: &Strip,
     host: &[f64],
@@ -122,7 +123,6 @@ fn apply_strip(
         sym.sn_ncols(p),
         &sym.rows[p],
     )[0];
-    let parr = &mut data[p];
     let mut entries = 0usize;
     let diagonal = strip.b1 == strip.b2;
     for j in 0..strip.n {
@@ -135,6 +135,70 @@ fn apply_strip(
         entries += strip.m - i0;
     }
     entries
+}
+
+/// Applies a whole supernode's staged strips, one pool job per target
+/// supernode (strips are ordered by `b1`, whose targets ascend, so each
+/// target owns one contiguous strip range and the splits are disjoint).
+/// Bit-identical to the serial sweep: only the lane changes, never the
+/// per-strip subtraction order.
+pub(crate) fn apply_strips_pool(
+    sym: &SymbolicFactor,
+    data: &mut [Vec<f64>],
+    blocks: &[RowBlock],
+    strips: &[Strip],
+    staged: &[f64],
+) -> usize {
+    if pool::global().threads() <= 1 {
+        // Single-lane pool: skip the per-target task boxing and run the
+        // identical sweep inline.
+        let mut entries = 0usize;
+        for st in strips {
+            let p = blocks[st.b1].target;
+            entries += apply_strip(
+                sym,
+                &mut data[p],
+                blocks,
+                st,
+                &staged[st.stage_off..st.stage_off + st.m * st.n],
+            );
+        }
+        return entries;
+    }
+    let total: std::sync::atomic::AtomicUsize = 0.into();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut rest: &mut [Vec<f64>] = data;
+    let mut consumed = 0usize;
+    let mut s1 = 0usize;
+    while s1 < strips.len() {
+        let p = blocks[strips[s1].b1].target;
+        let s_end = strips[s1..]
+            .iter()
+            .position(|st| blocks[st.b1].target != p)
+            .map_or(strips.len(), |off| s1 + off);
+        let (head, tail) = rest.split_at_mut(p - consumed + 1);
+        let parr = head.last_mut().expect("nonempty split");
+        rest = tail;
+        consumed = p + 1;
+        let group = &strips[s1..s_end];
+        let total = &total;
+        tasks.push(Box::new(move || {
+            let mut entries = 0usize;
+            for st in group {
+                entries += apply_strip(
+                    sym,
+                    parr,
+                    blocks,
+                    st,
+                    &staged[st.stage_off..st.stage_off + st.m * st.n],
+                );
+            }
+            total.fetch_add(entries, std::sync::atomic::Ordering::Relaxed);
+        }));
+        s1 = s_end;
+    }
+    pool::global().run(tasks);
+    total.into_inner()
 }
 
 /// Shared panel phase: H2D, device POTRF + TRSM, async copy-back.
@@ -286,20 +350,13 @@ pub fn factor_rlb_gpu(
                 for st in &strips {
                     launch_strip_kernel(&gpu, compute, panel_buf, stage, st, blocks, c, len)?;
                 }
-                // One transfer for the whole supernode.
+                // One transfer for the whole supernode; the host-side
+                // scatter fans out across the pool (one job per target).
                 host_ws.resize(stage_len.max(host_ws.len()), 0.0);
                 gpu.memcpy_d2h(compute, stage, 0, &mut host_ws[..stage_len])?;
                 gpu.sync_stream(compute);
-                let mut entries = 0usize;
-                for st in &strips {
-                    entries += apply_strip(
-                        sym,
-                        &mut data.sn,
-                        blocks,
-                        st,
-                        &host_ws[st.stage_off..st.stage_off + st.m * st.n],
-                    );
-                }
+                let entries =
+                    apply_strips_pool(sym, &mut data.sn, blocks, &strips, &host_ws[..stage_len]);
                 gpu.host_compute(cpu.op_time(&TraceOp::Assemble { entries }));
             }
             RlbGpuVersion::V2 => {
@@ -339,7 +396,8 @@ pub fn factor_rlb_gpu(
                 // overlapping the device's remaining kernels.
                 for (i, st) in strips.iter().enumerate() {
                     gpu.host_wait_event(copy_done[i]);
-                    let entries = apply_strip(sym, &mut data.sn, blocks, st, &landed[i]);
+                    let p = blocks[st.b1].target;
+                    let entries = apply_strip(sym, &mut data.sn[p], blocks, st, &landed[i]);
                     gpu.host_compute(cpu.op_time(&TraceOp::Assemble { entries }));
                 }
             }
@@ -351,6 +409,7 @@ pub fn factor_rlb_gpu(
         sim_seconds: gpu.elapsed(),
         stats: gpu.stats(),
         sn_on_gpu,
+        streams_used: 1,
         wall: t0.elapsed(),
     })
 }
@@ -358,7 +417,7 @@ pub fn factor_rlb_gpu(
 /// Launches the DSYRK (diagonal strip) or DGEMM (lower strip) for one
 /// block pair into `dst` at the strip's staging offset.
 #[allow(clippy::too_many_arguments)]
-fn launch_strip_kernel(
+pub(crate) fn launch_strip_kernel(
     gpu: &Gpu,
     compute: StreamId,
     panel_buf: Buffer,
@@ -406,9 +465,14 @@ fn launch_strip_kernel(
     Ok(())
 }
 
-/// The CPU-side direct RLB update (same as `factor_rlb_cpu`'s inner loop)
-/// for below-threshold supernodes, accumulating model time.
-fn cpu_direct_update(
+/// The CPU-side direct RLB update (same sweep as `factor_rlb_cpu`'s inner
+/// loop, via the shared [`rlb_run_updates`] enumerator) for
+/// below-threshold supernodes, accumulating model time. Real numerics run
+/// one pool job per target run — targets are disjoint ancestor arrays, so
+/// the fan-out is lock-free and bit-identical to the serial sweep. Model
+/// time is the serial op-time sum either way (the host cost model is
+/// thread-count-aware at replay, not here).
+pub(crate) fn cpu_direct_update(
     sym: &SymbolicFactor,
     sn_data: &mut [Vec<f64>],
     s: usize,
@@ -417,58 +481,79 @@ fn cpu_direct_update(
     cpu: &rlchol_perfmodel::CpuModel,
     host_seconds: &mut f64,
 ) {
+    /// The real numerics of one target run (identical kernels whichever
+    /// lane executes them).
+    fn run_kernels(
+        sym: &SymbolicFactor,
+        s: usize,
+        c: usize,
+        len: usize,
+        src: &[f64],
+        parr: &mut Vec<f64>,
+        run: &crate::rlb::RlbTargetRun,
+    ) {
+        rlb_run_updates(sym, s, c, run, |u| {
+            if u.diagonal {
+                syrk_ln(
+                    u.n,
+                    c,
+                    -1.0,
+                    &src[u.a_off..],
+                    len,
+                    1.0,
+                    &mut parr[u.dst_off..],
+                    run.p_len,
+                );
+            } else {
+                gemm_nt(
+                    u.m,
+                    u.n,
+                    c,
+                    -1.0,
+                    &src[u.a_off..],
+                    len,
+                    &src[u.b_off..],
+                    len,
+                    1.0,
+                    &mut parr[u.dst_off..],
+                    run.p_len,
+                );
+            }
+        });
+    }
+
     let (head, tail) = sn_data.split_at_mut(s + 1);
-    let src = head.last().expect("source exists");
-    let blocks = &sym.blocks[s];
-    for (b1, blk) in blocks.iter().enumerate() {
-        let p = blk.target;
-        let p_first = sym.sn.first_col(p);
-        let p_ncols = sym.sn_ncols(p);
-        let p_len = sym.sn_len(p);
-        let parr = &mut tail[p - s - 1];
-        let tcol = blk.first - p_first;
-        {
-            let cblock = &mut parr[tcol * p_len + tcol..];
-            syrk_ln(
-                blk.len,
-                c,
-                -1.0,
-                &src[c + blk.offset..],
-                len,
-                1.0,
-                cblock,
-                p_len,
-            );
-        }
-        *host_seconds += cpu.op_time(&TraceOp::Syrk { n: blk.len, k: c });
-        for blk2 in &blocks[b1 + 1..] {
-            let roff = relative_indices(
-                std::slice::from_ref(&blk2.first),
-                p_first,
-                p_ncols,
-                &sym.rows[p],
-            )[0];
-            let cblock = &mut parr[tcol * p_len + roff..];
-            gemm_nt(
-                blk2.len,
-                blk.len,
-                c,
-                -1.0,
-                &src[c + blk2.offset..],
-                len,
-                &src[c + blk.offset..],
-                len,
-                1.0,
-                cblock,
-                p_len,
-            );
-            *host_seconds += cpu.op_time(&TraceOp::Gemm {
-                m: blk2.len,
-                n: blk.len,
-                k: c,
+    let src: &[f64] = head.last().expect("source exists");
+    // Single-lane pool: run the sweep inline, no task boxing.
+    let single = pool::global().threads() <= 1;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut rest: &mut [Vec<f64>] = tail;
+    let mut consumed = s + 1;
+    for run in rlb_target_runs(sym, s) {
+        rlb_run_updates(sym, s, c, &run, |u| {
+            *host_seconds += cpu.op_time(&if u.diagonal {
+                TraceOp::Syrk { n: u.n, k: c }
+            } else {
+                TraceOp::Gemm {
+                    m: u.m,
+                    n: u.n,
+                    k: c,
+                }
             });
+        });
+        let (h, t) = rest.split_at_mut(run.target - consumed + 1);
+        let parr = h.last_mut().expect("nonempty split");
+        rest = t;
+        consumed = run.target + 1;
+        if single {
+            run_kernels(sym, s, c, len, src, parr, &run);
+        } else {
+            tasks.push(Box::new(move || {
+                run_kernels(sym, s, c, len, src, parr, &run)
+            }));
         }
     }
+    pool::global().run(tasks);
 }
 
 #[cfg(test)]

@@ -30,12 +30,17 @@
 //! stack-based multifrontal method with its distinctive working-storage
 //! profile.
 //!
-//! * **Task-parallel CPU engines** ([`sched`]) — RL and RLB scheduled
-//!   over the supernodal elimination tree on the persistent thread pool
-//!   (`RLCHOL_THREADS` lanes; see `rlchol-dense`'s crate docs):
-//!   independent subtrees factor concurrently, fan-out updates are
-//!   guarded per-target, and large per-task BLAS calls stripe across
-//!   idle lanes.
+//! * **Task-parallel CPU engines** ([`sched::cpu`]) — RL and RLB
+//!   scheduled over the supernodal elimination tree on the persistent
+//!   thread pool (`RLCHOL_THREADS` lanes; see `rlchol-dense`'s crate
+//!   docs): independent subtrees factor concurrently, fan-out updates
+//!   are guarded per-target, and large per-task BLAS calls stripe
+//!   across idle lanes.
+//! * **Pipelined multi-stream GPU engines** ([`sched::gpu`]) — the same
+//!   elimination-tree dependency machinery ([`sched::driver`]) drives
+//!   out-of-order dispatch of ready supernodes onto `RLCHOL_STREAMS`
+//!   simulated compute/copy stream pairs, with in-order host retirement
+//!   keeping the factor bit-identical to the single-stream engines.
 //!
 //! The [`solver::CholeskySolver`] ties ordering, symbolic analysis,
 //! numeric factorization and triangular solves into the end-to-end
@@ -58,6 +63,6 @@ pub mod storage;
 
 pub use engine::{best_cpu_time, CpuRun, GpuOptions, GpuRun, Method};
 pub use error::FactorError;
-pub use sched::{factor_rl_cpu_par, factor_rlb_cpu_par};
+pub use sched::{factor_rl_cpu_par, factor_rl_gpu_pipe, factor_rlb_cpu_par, factor_rlb_gpu_pipe};
 pub use solver::{CholeskySolver, SolverOptions};
 pub use storage::FactorData;

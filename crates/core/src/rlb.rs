@@ -12,6 +12,11 @@
 //! no temporary update matrix exists — and each block needs just one
 //! generalized relative index (its offset in the ancestor's index list),
 //! since consecutive global indices stay consecutive there.
+//!
+//! The sweep itself ([`rlb_target_runs`] + [`rlb_run_updates`]) is shared
+//! with the task-parallel scheduler and the GPU engines' CPU path, which
+//! differ only in locking, tracing and kernel dispatch — the relative
+//! index arithmetic lives here and nowhere else.
 
 use std::time::Instant;
 
@@ -24,6 +29,117 @@ use rlchol_symbolic::SymbolicFactor;
 use crate::engine::{factor_panel, CpuRun};
 use crate::error::FactorError;
 use crate::storage::FactorData;
+
+/// A maximal run of consecutive row blocks of one source supernode aimed
+/// at a single target supernode, with the target geometry resolved once.
+///
+/// Blocks are listed in ascending row order and targets are ancestors in
+/// ascending order too, so each target owns exactly one run — callers may
+/// treat runs as disjoint (`split_at_mut`, one lock, one pool job).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RlbTargetRun {
+    /// Target supernode.
+    pub(crate) target: usize,
+    /// Target's leading dimension (`sn_len`) — the `ldc` of every kernel
+    /// in the run.
+    pub(crate) p_len: usize,
+    /// Range of the source's block list covered by this run.
+    pub(crate) b_start: usize,
+    pub(crate) b_end: usize,
+}
+
+/// One SYRK (`diagonal`) or GEMM update of the RLB sweep, with all
+/// relative-index arithmetic resolved: kernels read the source panel at
+/// `a_off`/`b_off` and write `m × n` values at `dst_off` of the target
+/// (leading dimension [`RlbTargetRun::p_len`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RlbUpdate {
+    pub(crate) diagonal: bool,
+    /// Update rows (`== n` for the diagonal SYRK).
+    pub(crate) m: usize,
+    /// Update columns.
+    pub(crate) n: usize,
+    /// Source-panel offset of the `B′` rows.
+    pub(crate) a_off: usize,
+    /// Source-panel offset of the `B` rows.
+    pub(crate) b_off: usize,
+    /// Offset in the target supernode's storage.
+    pub(crate) dst_off: usize,
+}
+
+/// Groups supernode `s`'s row blocks into target runs, in ascending
+/// target order. Allocation-free (the iterator walks the block list).
+pub(crate) fn rlb_target_runs(
+    sym: &SymbolicFactor,
+    s: usize,
+) -> impl Iterator<Item = RlbTargetRun> + '_ {
+    let blocks = &sym.blocks[s];
+    let mut b1 = 0usize;
+    std::iter::from_fn(move || {
+        if b1 >= blocks.len() {
+            return None;
+        }
+        let target = blocks[b1].target;
+        let b_end = blocks[b1..]
+            .iter()
+            .position(|b| b.target != target)
+            .map_or(blocks.len(), |off| b1 + off);
+        let run = RlbTargetRun {
+            target,
+            p_len: sym.sn_len(target),
+            b_start: b1,
+            b_end,
+        };
+        b1 = b_end;
+        Some(run)
+    })
+}
+
+/// Enumerates the block updates of one target run — the single home of
+/// the RLB relative-index arithmetic (§II-B's generalized relative
+/// indices). For each outer block `B` in the run: a diagonal SYRK update
+/// `L[B, B]`, then one GEMM update `L[B′, B]` per block `B′` below it
+/// (below-blocks may extend past the run — their *rows* live in later
+/// ancestors but the written columns stay inside this run's target).
+pub(crate) fn rlb_run_updates(
+    sym: &SymbolicFactor,
+    s: usize,
+    c: usize,
+    run: &RlbTargetRun,
+    mut kernel: impl FnMut(&RlbUpdate),
+) {
+    let blocks = &sym.blocks[s];
+    let p = run.target;
+    let p_first = sym.sn.first_col(p);
+    let p_ncols = sym.sn_ncols(p);
+    for (bi, blk) in blocks.iter().enumerate().take(run.b_end).skip(run.b_start) {
+        // Target columns: the block's columns inside supernode p.
+        let tcol = blk.first - p_first;
+        kernel(&RlbUpdate {
+            diagonal: true,
+            m: blk.len,
+            n: blk.len,
+            a_off: c + blk.offset,
+            b_off: c + blk.offset,
+            dst_off: tcol * run.p_len + tcol,
+        });
+        for blk2 in &blocks[bi + 1..] {
+            // One generalized relative index per block: the offset of
+            // B′'s first row in p's index list (consecutive indices
+            // remain consecutive there). The single-index lookup keeps
+            // the update loop allocation-free.
+            let roff = relative_index_of(blk2.first, p_first, p_ncols, &sym.rows[p]);
+            kernel(&RlbUpdate {
+                diagonal: false,
+                m: blk2.len,
+                n: blk.len,
+                a_off: c + blk2.offset,
+                b_off: c + blk.offset,
+                dst_off: tcol * run.p_len + roff,
+            });
+        }
+    }
+}
 
 /// Factors `a` (permuted into factor order) with CPU-only RLB.
 pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorError> {
@@ -55,57 +171,44 @@ pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, Factor
         // so a split borrow separates the source panel from the targets.
         let (head, tail) = data.sn.split_at_mut(s + 1);
         let src = head.last().expect("source supernode exists");
-        let blocks = &sym.blocks[s];
-        for (b1, blk) in blocks.iter().enumerate() {
-            let p = blk.target;
-            let p_first = sym.sn.first_col(p);
-            let p_ncols = sym.sn_ncols(p);
-            let p_len = sym.sn_len(p);
-            let parr = &mut tail[p - s - 1];
-            // Target columns: the block's columns inside supernode p.
-            let tcol = blk.first - p_first;
-            // Diagonal part L[B, B] via DSYRK.
-            {
-                let cblock = &mut parr[tcol * p_len + tcol..];
-                syrk_ln(
-                    blk.len,
-                    c,
-                    -1.0,
-                    &src[c + blk.offset..],
-                    len,
-                    1.0,
-                    cblock,
-                    p_len,
-                );
-            }
-            trace.push(TraceOp::Syrk { n: blk.len, k: c });
-            // Lower parts L[B′, B] via DGEMM, one call per lower block.
-            for blk2 in &blocks[b1 + 1..] {
-                // One generalized relative index per block: the offset of
-                // B′'s first row in p's index list (consecutive indices
-                // remain consecutive there). The single-index lookup keeps
-                // the update loop allocation-free.
-                let roff = relative_index_of(blk2.first, p_first, p_ncols, &sym.rows[p]);
-                let cblock = &mut parr[tcol * p_len + roff..];
-                gemm_nt(
-                    blk2.len,
-                    blk.len,
-                    c,
-                    -1.0,
-                    &src[c + blk2.offset..],
-                    len,
-                    &src[c + blk.offset..],
-                    len,
-                    1.0,
-                    cblock,
-                    p_len,
-                );
-                trace.push(TraceOp::Gemm {
-                    m: blk2.len,
-                    n: blk.len,
-                    k: c,
-                });
-            }
+        for run in rlb_target_runs(sym, s) {
+            let parr = &mut tail[run.target - s - 1];
+            rlb_run_updates(sym, s, c, &run, |u| {
+                if u.diagonal {
+                    // Diagonal part L[B, B] via DSYRK.
+                    syrk_ln(
+                        u.n,
+                        c,
+                        -1.0,
+                        &src[u.a_off..],
+                        len,
+                        1.0,
+                        &mut parr[u.dst_off..],
+                        run.p_len,
+                    );
+                    trace.push(TraceOp::Syrk { n: u.n, k: c });
+                } else {
+                    // Lower part L[B′, B] via DGEMM.
+                    gemm_nt(
+                        u.m,
+                        u.n,
+                        c,
+                        -1.0,
+                        &src[u.a_off..],
+                        len,
+                        &src[u.b_off..],
+                        len,
+                        1.0,
+                        &mut parr[u.dst_off..],
+                        run.p_len,
+                    );
+                    trace.push(TraceOp::Gemm {
+                        m: u.m,
+                        n: u.n,
+                        k: c,
+                    });
+                }
+            });
         }
     }
     Ok(CpuRun {

@@ -1,20 +1,11 @@
-//! Task-parallel numeric factorization over the elimination tree.
+//! The task-parallel CPU executor over the frontier driver.
 //!
-//! The serial engines walk supernodes left to right; but two supernodes
-//! in disjoint subtrees of the supernodal elimination tree touch disjoint
-//! storage and can factor concurrently (the fan-out / right-looking task
-//! model — cf. the asynchronous fan-both solver of Jacquelin et al.).
-//! This module schedules exactly that:
-//!
-//! * **Dependency counts.** Supernode `p` may be factored once every
-//!   descendant that updates it has applied its updates. `deps[p]` is the
-//!   number of such descendants (distinct update *sources*, computed from
-//!   the symbolic block/row structure); leaves start at zero.
-//! * **Ready queue.** Seeded with the leaves. A fixed team of scheduler
-//!   workers (running as jobs on the persistent [`rlchol_dense::pool`])
-//!   pops supernodes, factors the panel, applies the fan-out updates
-//!   guarded by a per-supernode lock on the target's storage, and
-//!   decrements the targets' counts — pushing any that reach zero.
+//! * **Ready queue.** Seeded with the forest's leaves from the
+//!   [`Frontier`]. A fixed team of scheduler workers (running as jobs on
+//!   the persistent [`rlchol_dense::pool`]) pops supernodes, factors the
+//!   panel, applies the fan-out updates guarded by a per-supernode lock
+//!   on the target's storage, and releases the targets through the
+//!   frontier — pushing any that become ready.
 //! * **Two-level parallelism.** Inside a task, sufficiently large BLAS
 //!   calls use the striped `par_*` kernels, whose stripes land on the
 //!   same pool; idle scheduler workers execute pending stripes instead of
@@ -28,7 +19,9 @@
 //!
 //! Floating-point note: updates into a target may apply in any order, so
 //! parallel factors differ from serial ones by roundoff (≈1e-15
-//! relative); tests compare at 1e-11.
+//! relative); tests compare at 1e-11. (The pipelined GPU executor makes
+//! the opposite trade — in-order retirement for bit-exactness; see
+//! [`super::gpu`].)
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -37,20 +30,21 @@ use std::time::{Duration, Instant};
 use rlchol_dense::{gemm_nt, par_gemm_nt, par_syrk_ln, pool, syrk_ln};
 use rlchol_perfmodel::{Trace, TraceOp};
 use rlchol_sparse::SymCsc;
-use rlchol_symbolic::relind::relative_index_of;
 use rlchol_symbolic::SymbolicFactor;
 
 use crate::assemble::{scatter_segment, segments};
 use crate::engine::{factor_panel, factor_panel_par, CpuRun};
 use crate::error::FactorError;
 use crate::rl::factor_rl_cpu;
-use crate::rlb::factor_rlb_cpu;
+use crate::rlb::{factor_rlb_cpu, rlb_run_updates, rlb_target_runs};
 use crate::storage::FactorData;
+
+use super::driver::Frontier;
 
 /// Flop threshold below which a task keeps a BLAS call serial instead of
 /// striping it across the pool (stripe setup costs ~µs; a call this
 /// small finishes faster than the fan-out).
-const PAR_FLOPS: f64 = 2.0e6;
+pub(crate) const PAR_FLOPS: f64 = 2.0e6;
 
 /// Which update formulation the scheduler applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,8 +97,8 @@ struct Shared<'a> {
     /// own factor task (exclusive by scheduling: its count is zero and
     /// nothing reads it until it finishes).
     sn: Vec<Mutex<Vec<f64>>>,
-    /// Remaining updater count per supernode.
-    deps: Vec<AtomicUsize>,
+    /// Remaining-updater counts (the engine-agnostic frontier driver).
+    frontier: Frontier,
     ctrl: Mutex<Ctrl>,
     wake: Condvar,
     /// Tree-level tasks currently factoring (for the lane-split
@@ -154,9 +148,9 @@ impl Shared<'_> {
         self.wake.notify_all();
     }
 
-    /// Decrements `p`'s updater count; queues it when it reaches zero.
+    /// Releases `p` through the frontier; queues it when it became ready.
     fn release_target(&self, p: usize) {
-        if self.deps[p].fetch_sub(1, Ordering::AcqRel) == 1 {
+        if self.frontier.release(p) {
             let mut ctrl = self.ctrl.lock().unwrap();
             ctrl.ready.push_back(p);
             drop(ctrl);
@@ -172,19 +166,6 @@ impl Shared<'_> {
     }
 }
 
-/// Distinct target supernodes of `s`'s updates, in ascending order.
-/// Rows of one target are contiguous in the sorted row list, so
-/// deduplicating consecutive targets is exact.
-fn distinct_targets(sym: &SymbolicFactor, s: usize, out: &mut Vec<usize>) {
-    out.clear();
-    for &row in &sym.rows[s] {
-        let p = sym.sn.col_to_sn[row];
-        if out.last() != Some(&p) {
-            out.push(p);
-        }
-    }
-}
-
 fn run_scheduler(
     sym: &SymbolicFactor,
     a: &SymCsc,
@@ -195,17 +176,8 @@ fn run_scheduler(
     let nsup = sym.nsup();
     let data = FactorData::load(sym, a);
 
-    // Dependency counts: one per distinct (source, target) pair.
-    let mut deps = vec![0usize; nsup];
-    let mut targets = Vec::new();
-    for s in 0..nsup {
-        distinct_targets(sym, s, &mut targets);
-        for &p in &targets {
-            deps[p] += 1;
-        }
-    }
-    let mut ready: std::collections::VecDeque<usize> =
-        (0..nsup).filter(|&s| deps[s] == 0).collect();
+    let frontier = Frontier::new(sym);
+    let mut ready: std::collections::VecDeque<usize> = frontier.initial_ready().into();
     debug_assert!(!ready.is_empty(), "a forest always has leaves");
     // Factor large leaves first: they unlock deeper chains sooner and
     // keep the team busy while small leaves fill the gaps.
@@ -216,7 +188,7 @@ fn run_scheduler(
     let shared = Shared {
         sym,
         sn: data.sn.into_iter().map(Mutex::new).collect(),
-        deps: deps.into_iter().map(AtomicUsize::new).collect(),
+        frontier,
         ctrl: Mutex::new(Ctrl {
             ready,
             done: 0,
@@ -411,9 +383,10 @@ fn apply_updates_rl(
 }
 
 /// RLB fan-out: per-block SYRK/GEMM applied directly into each target's
-/// storage under its lock; consecutive blocks aimed at the same target
-/// share one lock acquisition, and the target is released once all of
-/// `s`'s blocks into it are done.
+/// storage under its lock, enumerated by the shared sweep
+/// ([`rlb_target_runs`] / [`rlb_run_updates`]); all blocks of one target
+/// run share one lock acquisition, and the target is released once the
+/// run completes.
 fn apply_updates_rlb(
     shared: &Shared<'_>,
     s: usize,
@@ -423,96 +396,71 @@ fn apply_updates_rlb(
     ops: &mut Vec<TraceOp>,
 ) {
     let sym = shared.sym;
-    let blocks = &sym.blocks[s];
-    let mut b1 = 0usize;
-    while b1 < blocks.len() {
-        let p = blocks[b1].target;
-        // Consecutive outer blocks into the same target p.
-        let b_end = blocks[b1..]
-            .iter()
-            .position(|b| b.target != p)
-            .map_or(blocks.len(), |off| b1 + off);
-        let p_first = sym.sn.first_col(p);
-        let p_ncols = sym.sn_ncols(p);
-        let p_len = sym.sn_len(p);
-        let mut parr = shared.sn[p].lock().unwrap();
-        for (bi, blk) in blocks.iter().enumerate().take(b_end).skip(b1) {
-            // Target columns: the block's columns inside supernode p.
-            let tcol = blk.first - p_first;
+    for run in rlb_target_runs(sym, s) {
+        let mut parr = shared.sn[run.target].lock().unwrap();
+        rlb_run_updates(sym, s, c, &run, |u| {
             let inner = shared.inner_threads();
-            // Diagonal part L[B, B] via DSYRK.
-            {
-                let cblock = &mut parr[tcol * p_len + tcol..];
-                if inner > 1 && (blk.len * blk.len * c) as f64 >= PAR_FLOPS {
+            if u.diagonal {
+                // Diagonal part L[B, B] via DSYRK.
+                let cblock = &mut parr[u.dst_off..];
+                if inner > 1 && (u.n * u.n * c) as f64 >= PAR_FLOPS {
                     par_syrk_ln(
                         inner,
-                        blk.len,
+                        u.n,
                         c,
                         -1.0,
-                        &src[c + blk.offset..],
+                        &src[u.a_off..],
                         len,
                         1.0,
                         cblock,
-                        p_len,
+                        run.p_len,
                     );
                 } else {
-                    syrk_ln(
-                        blk.len,
-                        c,
-                        -1.0,
-                        &src[c + blk.offset..],
-                        len,
-                        1.0,
-                        cblock,
-                        p_len,
-                    );
+                    syrk_ln(u.n, c, -1.0, &src[u.a_off..], len, 1.0, cblock, run.p_len);
                 }
-            }
-            ops.push(TraceOp::Syrk { n: blk.len, k: c });
-            // Lower parts L[B′, B] via DGEMM, one call per lower block.
-            for blk2 in &blocks[bi + 1..] {
-                let roff = relative_index_of(blk2.first, p_first, p_ncols, &sym.rows[p]);
-                let cblock = &mut parr[tcol * p_len + roff..];
-                if inner > 1 && (2 * blk2.len * blk.len * c) as f64 >= PAR_FLOPS {
+                ops.push(TraceOp::Syrk { n: u.n, k: c });
+            } else {
+                // Lower part L[B′, B] via DGEMM.
+                let cblock = &mut parr[u.dst_off..];
+                if inner > 1 && (2 * u.m * u.n * c) as f64 >= PAR_FLOPS {
                     par_gemm_nt(
                         inner,
-                        blk2.len,
-                        blk.len,
+                        u.m,
+                        u.n,
                         c,
                         -1.0,
-                        &src[c + blk2.offset..],
+                        &src[u.a_off..],
                         len,
-                        &src[c + blk.offset..],
+                        &src[u.b_off..],
                         len,
                         1.0,
                         cblock,
-                        p_len,
+                        run.p_len,
                     );
                 } else {
                     gemm_nt(
-                        blk2.len,
-                        blk.len,
+                        u.m,
+                        u.n,
                         c,
                         -1.0,
-                        &src[c + blk2.offset..],
+                        &src[u.a_off..],
                         len,
-                        &src[c + blk.offset..],
+                        &src[u.b_off..],
                         len,
                         1.0,
                         cblock,
-                        p_len,
+                        run.p_len,
                     );
                 }
                 ops.push(TraceOp::Gemm {
-                    m: blk2.len,
-                    n: blk.len,
+                    m: u.m,
+                    n: u.n,
                     k: c,
                 });
             }
-        }
+        });
         drop(parr);
-        shared.release_target(p);
-        b1 = b_end;
+        shared.release_target(run.target);
     }
 }
 
@@ -549,21 +497,6 @@ mod tests {
             let par = factor_rl_cpu_par(&sym, &ap, threads).unwrap();
             let d = serial.factor.max_rel_diff(&par.factor);
             assert!(d < 1e-11, "threads={threads}: diff {d}");
-        }
-    }
-
-    #[test]
-    fn dep_counts_match_segments() {
-        let a = grid3d(6, 5, 4, Stencil::Star7, 1, 9);
-        let (sym, _) = prepared(&a);
-        let mut targets = Vec::new();
-        for s in 0..sym.nsup() {
-            distinct_targets(&sym, s, &mut targets);
-            let segs = segments(&sym, s);
-            assert_eq!(targets.len(), segs.len(), "supernode {s}");
-            for (t, seg) in targets.iter().zip(&segs) {
-                assert_eq!(*t, seg.target);
-            }
         }
     }
 

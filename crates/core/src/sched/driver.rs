@@ -1,0 +1,120 @@
+//! The engine-agnostic frontier driver.
+//!
+//! A supernode is *ready* when every descendant that updates it has
+//! finished applying its updates. The driver owns exactly that state —
+//! one remaining-updater count per supernode, decremented as updaters
+//! complete — and nothing else: no queue discipline, no locking policy,
+//! no notion of where work runs. The CPU executor pairs it with a
+//! condvar-guarded ready queue drained by a worker team; the GPU
+//! executor pairs it with an index-ordered heap drained by a single
+//! issue loop that fans device work across streams. Counts are atomic
+//! so concurrent executors may release targets from any thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rlchol_symbolic::SymbolicFactor;
+
+/// Distinct target supernodes of `s`'s updates, in ascending order.
+/// Rows of one target are contiguous in the sorted row list, so
+/// deduplicating consecutive targets is exact.
+pub fn distinct_targets(sym: &SymbolicFactor, s: usize, out: &mut Vec<usize>) {
+    out.clear();
+    for &row in &sym.rows[s] {
+        let p = sym.sn.col_to_sn[row];
+        if out.last() != Some(&p) {
+            out.push(p);
+        }
+    }
+}
+
+/// Remaining-updater counts over the supernodal elimination structure.
+pub struct Frontier {
+    /// One count per supernode: distinct update *sources* not yet
+    /// completed. Zero means ready.
+    deps: Vec<AtomicUsize>,
+}
+
+impl Frontier {
+    /// Builds the counts from the symbolic structure: one per distinct
+    /// `(source, target)` update pair.
+    pub fn new(sym: &SymbolicFactor) -> Self {
+        let nsup = sym.nsup();
+        let mut deps = vec![0usize; nsup];
+        let mut targets = Vec::new();
+        for s in 0..nsup {
+            distinct_targets(sym, s, &mut targets);
+            for &p in &targets {
+                deps[p] += 1;
+            }
+        }
+        Frontier {
+            deps: deps.into_iter().map(AtomicUsize::new).collect(),
+        }
+    }
+
+    /// Number of supernodes tracked.
+    pub fn nsup(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// The initially ready supernodes (the forest's leaves), ascending.
+    pub fn initial_ready(&self) -> Vec<usize> {
+        (0..self.deps.len())
+            .filter(|&s| self.deps[s].load(Ordering::Relaxed) == 0)
+            .collect()
+    }
+
+    /// Records that one updater of `target` has completed; returns `true`
+    /// exactly once per target — when its last updater releases it.
+    pub fn release(&self, target: usize) -> bool {
+        self.deps[target].fetch_sub(1, Ordering::AcqRel) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::segments;
+    use rlchol_matgen::{grid3d, Stencil};
+    use rlchol_symbolic::{analyze, SymbolicOptions};
+
+    #[test]
+    fn dep_counts_match_segments() {
+        let a = grid3d(6, 5, 4, Stencil::Star7, 1, 9);
+        let sym = analyze(&a, &SymbolicOptions::default());
+        let mut targets = Vec::new();
+        for s in 0..sym.nsup() {
+            distinct_targets(&sym, s, &mut targets);
+            let segs = segments(&sym, s);
+            assert_eq!(targets.len(), segs.len(), "supernode {s}");
+            for (t, seg) in targets.iter().zip(&segs) {
+                assert_eq!(*t, seg.target);
+            }
+        }
+    }
+
+    #[test]
+    fn releases_drain_to_every_supernode_exactly_once() {
+        // Simulate retirement in ascending order: every supernode must
+        // become ready exactly once, and before its own retirement.
+        let a = grid3d(5, 5, 5, Stencil::Star7, 1, 4);
+        let sym = analyze(&a, &SymbolicOptions::default());
+        let frontier = Frontier::new(&sym);
+        let mut became_ready = vec![false; sym.nsup()];
+        for s in frontier.initial_ready() {
+            became_ready[s] = true;
+        }
+        let mut targets = Vec::new();
+        for s in 0..sym.nsup() {
+            assert!(became_ready[s], "supernode {s} retired before ready");
+            distinct_targets(&sym, s, &mut targets);
+            for &p in &targets {
+                if frontier.release(p) {
+                    assert!(!became_ready[p], "supernode {p} released twice");
+                    became_ready[p] = true;
+                }
+            }
+        }
+        assert!(became_ready.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,458 @@
+//! Pipelined multi-stream GPU executor over the frontier driver.
+//!
+//! The single-stream GPU engines ([`crate::gpu_rl`], [`crate::gpu_rlb`])
+//! walk supernodes left to right on one compute/copy stream pair, so a
+//! supernode's H2D waits behind its *predecessor's* kernels even when the
+//! two live in disjoint subtrees. This executor splits scheduling into
+//! two interleaved phases driven by the engine-agnostic [`Frontier`]:
+//!
+//! * **Issue (out of order, round-robin).** Whenever a supernode becomes
+//!   ready — all its updaters have been applied to host storage — its
+//!   device phase (H2D, DPOTRF, DTRSM, async panel copy-back, update
+//!   kernels, update D2H into a per-supernode host staging area) is
+//!   enqueued on the next of `RLCHOL_STREAMS` compute/copy stream pairs.
+//!   Each pair owns one panel buffer and one update/staging buffer;
+//!   an [`Event`](rlchol_gpu::Event) recorded after the pair's previous
+//!   occupant drains its copy stream gates buffer reuse, so arbitrarily
+//!   deep per-stream queues stay safe. Independent supernodes on
+//!   different pairs overlap kernels *and* transfers.
+//! * **Retire (in order).** Host-side effects — assembling staged
+//!   updates (fanned out over [`rlchol_dense::pool`], one job per target),
+//!   running below-threshold supernodes' CPU path, and releasing frontier
+//!   targets — happen in ascending supernode order. Updates therefore hit
+//!   every target in exactly the serial order, which makes the factor
+//!   **bit-identical** to the single-stream engines at any stream count;
+//!   one stream pair is the degenerate case (issue order collapses to
+//!   retirement order).
+//!
+//! Device memory scales with the pair count; when the per-pair buffers do
+//! not all fit, the executor sheds pairs (fewer streams, same factor)
+//! and only fails with [`FactorError::GpuOutOfMemory`] when even a
+//! single pair exceeds capacity. A single RL pair is sized exactly like
+//! [`crate::gpu_rl`], so RL-pipe fits whatever RL fits; the RLB pipeline
+//! stages the *batched* (v1) footprint per pair, so matrices that only
+//! v2's per-block streaming squeezes under capacity still need
+//! [`crate::engine::Method::RlbGpuV2`] (streaming inside the pipeline is
+//! an open ROADMAP item). A non-positive-definite pivot surfaces from the
+//! eager device POTRF at issue time; when several supernodes are
+//! indefinite, the reported column may differ from the serial engines'
+//! (issue order is frontier order, not index order), but an error is
+//! always raised before any factor is returned.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use rlchol_dense::syrk_ln;
+use rlchol_gpu::{default_streams, Buffer, Event, Gpu, StreamId};
+use rlchol_perfmodel::TraceOp;
+use rlchol_sparse::SymCsc;
+use rlchol_symbolic::SymbolicFactor;
+
+use crate::assemble::assemble_update_pool;
+use crate::engine::{factor_panel, GpuOptions, GpuRun};
+use crate::error::FactorError;
+use crate::gpu_rl::{map_device_pivot, offload_set};
+use crate::gpu_rlb::{apply_strips_pool, cpu_direct_update, launch_strip_kernel, strips_of, Strip};
+use crate::storage::FactorData;
+
+use super::driver::{distinct_targets, Frontier};
+
+/// Which update formulation the pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PipeVariant {
+    /// One coarse SYRK per supernode; host scatters the update matrix
+    /// (bit-identical to [`crate::gpu_rl::factor_rl_gpu`]).
+    Rl,
+    /// Per-block SYRK/GEMM strips into compacted staging, one transfer
+    /// per supernode (the batched formulation — bit-identical to both
+    /// RLB GPU versions whenever v2 leaves blocks unsplit).
+    Rlb,
+}
+
+/// Pipelined multi-stream GPU-RL ([`crate::engine::Method::RlGpuPipe`]).
+pub fn factor_rl_gpu_pipe(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+) -> Result<GpuRun, FactorError> {
+    run_pipeline(sym, a, opts, PipeVariant::Rl)
+}
+
+/// Pipelined multi-stream GPU-RLB
+/// ([`crate::engine::Method::RlbGpuPipe`]).
+pub fn factor_rlb_gpu_pipe(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+) -> Result<GpuRun, FactorError> {
+    run_pipeline(sym, a, opts, PipeVariant::Rlb)
+}
+
+/// One compute/copy stream pair with its device working storage.
+struct StreamCtx {
+    compute: StreamId,
+    copy: StreamId,
+    panel_buf: Buffer,
+    /// RL: the update-matrix buffer; RLB: the compacted staging buffer.
+    upd_buf: Buffer,
+    /// Drain point of the previous occupant's copy stream — both device
+    /// buffers are reusable once it completes.
+    gate: Option<Event>,
+}
+
+/// An issued-but-not-retired supernode.
+struct InFlight {
+    /// Host staging the update D2H landed in (empty when `r == 0`).
+    staged: Vec<f64>,
+    /// RLB: the strip set enumerated at issue time, reused verbatim for
+    /// the retire-side scatter (empty for RL).
+    strips: Vec<Strip>,
+    /// Completion of the staging transfer; the host waits on it before
+    /// assembling.
+    ready: Event,
+}
+
+fn run_pipeline(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+    variant: PipeVariant,
+) -> Result<GpuRun, FactorError> {
+    let t0 = Instant::now();
+    let mut data = FactorData::load(sym, a);
+    let gpu = Gpu::new(opts.machine.gpu);
+    gpu.set_blocking(!opts.overlap);
+    let cpu = opts.machine.cpu;
+    let nsup = sym.nsup();
+
+    let on_gpu = offload_set(sym, opts.threshold);
+    let sn_on_gpu = on_gpu.iter().filter(|&&b| b).count();
+
+    // Per-pair device working storage, sized like the single-stream
+    // engines': the largest offloaded panel plus the largest update
+    // matrix (RL) or compacted staging area (RLB).
+    let max_panel = (0..nsup)
+        .filter(|&s| on_gpu[s])
+        .map(|s| sym.sn_storage(s))
+        .max()
+        .unwrap_or(0);
+    let max_upd = (0..nsup)
+        .filter(|&s| on_gpu[s])
+        .map(|s| match variant {
+            PipeVariant::Rl => sym.update_matrix_entries(s),
+            PipeVariant::Rlb => strips_of(&sym.blocks[s]).1,
+        })
+        .max()
+        .unwrap_or(0);
+    let requested = if opts.streams == 0 {
+        default_streams()
+    } else {
+        opts.streams
+    };
+    let ctxs = alloc_stream_pairs(&gpu, requested.max(1), max_panel, max_upd)?;
+    let nstreams = ctxs.len();
+    let mut ctxs = ctxs;
+
+    let frontier = Frontier::new(sym);
+    let mut heap: BinaryHeap<Reverse<usize>> =
+        frontier.initial_ready().into_iter().map(Reverse).collect();
+    let mut inflight: Vec<Option<InFlight>> = (0..nsup).map(|_| None).collect();
+    let mut in_flight_count = 0usize;
+    // Lookahead window: at most ~2 supernodes queued per stream pair.
+    // Deeper queues would let early-ready leaves pile up in front of the
+    // low-index supernodes that retire first, serializing retirement
+    // against the whole backlog; ~1 executing + 1 queued per pair keeps
+    // every stream fed while D2H results stay close to the retire front.
+    let window = 2 * nstreams;
+    let mut rr = 0usize; // round-robin stream cursor
+    let mut targets = Vec::new();
+    // CPU-path scratch, reused across supernodes.
+    let mut l11: Vec<f64> = Vec::new();
+    let mut host_ws: Vec<f64> = Vec::new();
+
+    for s in 0..nsup {
+        // Issue phase: ready supernodes go to the device, lowest index
+        // first (which both ties the round-robin to a deterministic
+        // order and guarantees `s` itself — the minimum of the heap
+        // whenever it is present — is never starved by the window).
+        // CPU-path supernodes need no device work; they run at
+        // retirement, so popping them here just consumes their readiness.
+        while let Some(&Reverse(t)) = heap.peek() {
+            if on_gpu[t] && in_flight_count >= window && t != s {
+                break;
+            }
+            heap.pop();
+            if on_gpu[t] {
+                let ctx = &mut ctxs[rr % nstreams];
+                rr += 1;
+                issue(&gpu, sym, &mut data, ctx, t, variant, &mut inflight)?;
+                in_flight_count += 1;
+            }
+        }
+
+        // Retire phase: host effects in ascending supernode order.
+        let c = sym.sn_ncols(s);
+        let r = sym.sn_nrows_below(s);
+        let len = sym.sn_len(s);
+        let first = sym.sn.first_col(s);
+        if on_gpu[s] {
+            let inf = inflight[s]
+                .take()
+                .expect("ascending retirement implies s was ready and issued");
+            in_flight_count -= 1;
+            if r > 0 {
+                gpu.host_wait_event(inf.ready);
+                let entries = match variant {
+                    PipeVariant::Rl => assemble_update_pool(sym, &mut data.sn, s, &inf.staged, r),
+                    PipeVariant::Rlb => apply_strips_pool(
+                        sym,
+                        &mut data.sn,
+                        &sym.blocks[s],
+                        &inf.strips,
+                        &inf.staged,
+                    ),
+                };
+                gpu.host_compute(cpu.op_time(&TraceOp::Assemble { entries }));
+            }
+        } else {
+            // CPU path: identical kernels and model costs to the
+            // single-stream engines' below-threshold branch.
+            {
+                let arr = &mut data.sn[s];
+                factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
+                    FactorError::NotPositiveDefinite {
+                        column: first + pivot,
+                    }
+                })?;
+            }
+            gpu.host_compute(
+                cpu.op_time(&TraceOp::Potrf { n: c }) + cpu.op_time(&TraceOp::Trsm { m: r, n: c }),
+            );
+            if r > 0 {
+                match variant {
+                    PipeVariant::Rl => {
+                        if host_ws.len() < r * r {
+                            host_ws.resize(r * r, 0.0);
+                        }
+                        {
+                            let arr = &data.sn[s];
+                            syrk_ln(r, c, 1.0, &arr[c..], len, 0.0, &mut host_ws[..r * r], r);
+                        }
+                        gpu.host_compute(cpu.op_time(&TraceOp::Syrk { n: r, k: c }));
+                        let entries =
+                            assemble_update_pool(sym, &mut data.sn, s, &host_ws[..r * r], r);
+                        gpu.host_compute(cpu.op_time(&TraceOp::Assemble { entries }));
+                    }
+                    PipeVariant::Rlb => {
+                        let mut host_seconds = 0.0;
+                        cpu_direct_update(sym, &mut data.sn, s, c, len, &cpu, &mut host_seconds);
+                        gpu.host_compute(host_seconds);
+                    }
+                }
+            }
+        }
+
+        distinct_targets(sym, s, &mut targets);
+        for &p in &targets {
+            if frontier.release(p) {
+                heap.push(Reverse(p));
+            }
+        }
+    }
+
+    gpu.synchronize();
+    Ok(GpuRun {
+        factor: data,
+        sim_seconds: gpu.elapsed(),
+        stats: gpu.stats(),
+        sn_on_gpu,
+        streams_used: nstreams,
+        wall: t0.elapsed(),
+    })
+}
+
+/// Allocates up to `requested` compute/copy pairs with their buffers,
+/// shedding pairs that no longer fit device memory. Errors only when not
+/// even one pair fits (the single-stream engines' OOM condition).
+fn alloc_stream_pairs(
+    gpu: &Gpu,
+    requested: usize,
+    max_panel: usize,
+    max_upd: usize,
+) -> Result<Vec<StreamCtx>, FactorError> {
+    let mut bufs: Vec<(Buffer, Buffer)> = Vec::with_capacity(requested);
+    let mut first_err = None;
+    for _ in 0..requested {
+        match gpu.alloc(max_panel) {
+            Ok(panel) => match gpu.alloc(max_upd) {
+                Ok(upd) => bufs.push((panel, upd)),
+                Err(e) => {
+                    let _ = gpu.free(panel);
+                    first_err = Some(e);
+                    break;
+                }
+            },
+            Err(e) => {
+                first_err = Some(e);
+                break;
+            }
+        }
+    }
+    if bufs.is_empty() {
+        return Err(first_err.expect("requested >= 1").into());
+    }
+    Ok(bufs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (panel_buf, upd_buf))| StreamCtx {
+            compute: if i == 0 {
+                gpu.default_stream()
+            } else {
+                gpu.create_stream()
+            },
+            copy: gpu.create_stream(),
+            panel_buf,
+            upd_buf,
+            gate: None,
+        })
+        .collect())
+}
+
+/// Enqueues supernode `s`'s whole device phase on `ctx` and records it in
+/// flight. The simulated runtime executes kernels eagerly, so a
+/// non-positive-definite pivot surfaces here.
+fn issue(
+    gpu: &Gpu,
+    sym: &SymbolicFactor,
+    data: &mut FactorData,
+    ctx: &mut StreamCtx,
+    s: usize,
+    variant: PipeVariant,
+    inflight: &mut [Option<InFlight>],
+) -> Result<(), FactorError> {
+    let c = sym.sn_ncols(s);
+    let r = sym.sn_nrows_below(s);
+    let len = sym.sn_len(s);
+    let first = sym.sn.first_col(s);
+
+    // The pair's buffers may still feed the previous occupant's
+    // transfers; its gate event marks both drained.
+    if let Some(ev) = ctx.gate.take() {
+        gpu.stream_wait_event(ctx.compute, ev);
+    }
+    gpu.memcpy_h2d(ctx.compute, ctx.panel_buf, 0, &data.sn[s])?;
+    gpu.potrf(ctx.compute, ctx.panel_buf, 0, c, len)
+        .map_err(map_device_pivot(first))?;
+    gpu.trsm_panel(ctx.compute, ctx.panel_buf, 0, len, c, r)?;
+    // Asynchronous panel copy-back on the pair's copy stream.
+    let factored = gpu.record_event(ctx.compute);
+    gpu.stream_wait_event(ctx.copy, factored);
+    gpu.memcpy_d2h(ctx.copy, ctx.panel_buf, 0, &mut data.sn[s])?;
+
+    let mut staged = Vec::new();
+    let mut strips = Vec::new();
+    if r > 0 {
+        match variant {
+            PipeVariant::Rl => {
+                gpu.syrk(
+                    ctx.compute,
+                    ctx.panel_buf,
+                    c,
+                    len,
+                    r,
+                    c,
+                    1.0,
+                    0.0,
+                    ctx.upd_buf,
+                    0,
+                    r,
+                )?;
+                staged = vec![0.0f64; r * r];
+            }
+            PipeVariant::Rlb => {
+                let blocks = &sym.blocks[s];
+                let stage_len;
+                (strips, stage_len) = strips_of(blocks);
+                for st in &strips {
+                    launch_strip_kernel(
+                        gpu,
+                        ctx.compute,
+                        ctx.panel_buf,
+                        ctx.upd_buf,
+                        st,
+                        blocks,
+                        c,
+                        len,
+                    )?;
+                }
+                staged = vec![0.0f64; stage_len];
+            }
+        }
+        let computed = gpu.record_event(ctx.compute);
+        gpu.stream_wait_event(ctx.copy, computed);
+        gpu.memcpy_d2h(ctx.copy, ctx.upd_buf, 0, &mut staged)?;
+    }
+    let ready = gpu.record_event(ctx.copy);
+    ctx.gate = Some(ready);
+    inflight[s] = Some(InFlight {
+        staged,
+        strips,
+        ready,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu_rl::factor_rl_gpu;
+    use crate::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
+    use rlchol_matgen::{laplace2d, laplace3d};
+    use rlchol_symbolic::{analyze, SymbolicOptions};
+
+    fn setup(a: &rlchol_sparse::SymCsc) -> (SymbolicFactor, rlchol_sparse::SymCsc) {
+        let sym = analyze(a, &SymbolicOptions::default());
+        let ap = a.permute(&sym.perm);
+        (sym, ap)
+    }
+
+    #[test]
+    fn rl_pipe_bit_identical_across_stream_counts() {
+        let a = laplace3d(6, 41);
+        let (sym, ap) = setup(&a);
+        for threshold in [0usize, 500] {
+            let base = factor_rl_gpu(&sym, &ap, &GpuOptions::with_threshold(threshold)).unwrap();
+            for streams in [1usize, 2, 4] {
+                let opts = GpuOptions::with_threshold(threshold).with_streams(streams);
+                let run = factor_rl_gpu_pipe(&sym, &ap, &opts).unwrap();
+                assert_eq!(run.streams_used, streams);
+                assert_eq!(
+                    base.factor.sn, run.factor.sn,
+                    "thr {threshold} streams {streams}: factor must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rlb_pipe_bit_identical_to_both_single_stream_versions() {
+        let a = laplace2d(14, 42);
+        let (sym, ap) = setup(&a);
+        let opts1 = GpuOptions::with_threshold(0);
+        let v1 = factor_rlb_gpu(&sym, &ap, &opts1, RlbGpuVersion::V1).unwrap();
+        let v2 = factor_rlb_gpu(&sym, &ap, &opts1, RlbGpuVersion::V2).unwrap();
+        // At full capacity v2 never splits blocks, so all three agree.
+        assert_eq!(v1.factor.sn, v2.factor.sn);
+        for streams in [1usize, 3] {
+            let run = factor_rlb_gpu_pipe(&sym, &ap, &opts1.with_streams(streams)).unwrap();
+            assert_eq!(v1.factor.sn, run.factor.sn, "streams {streams}");
+        }
+    }
+
+    // The 1 -> 2 stream strict-speedup property is covered by the
+    // integration test `multi_stream_pipelining_speeds_up_the_simulated
+    // _clock` (tests/pipelined_gpu.rs) on an ND-ordered 3-D grid; a
+    // natural band order collapses the tree to a path where no engine
+    // can overlap anything, so such a check must order first.
+}

@@ -1,0 +1,34 @@
+//! Elimination-tree scheduling: an engine-agnostic frontier driver plus
+//! the executors built on it.
+//!
+//! Two supernodes in disjoint subtrees of the supernodal elimination
+//! tree touch disjoint storage and can be processed concurrently (the
+//! fan-out / right-looking task model — cf. the asynchronous fan-both
+//! solver of Jacquelin et al.). What "processed" means is up to the
+//! executor; the dependency machinery is not:
+//!
+//! * [`driver`] — the **frontier driver**: per-supernode dependency
+//!   counts derived from the symbolic block/row structure (supernode `p`
+//!   may start once every descendant that updates it has applied its
+//!   updates), leaf seeding, and fan-out release. It knows nothing about
+//!   threads, locks, or devices — executors layer their own queueing and
+//!   synchronization over it.
+//! * [`cpu`] — the task-parallel CPU executor: a fixed team of scheduler
+//!   workers over the persistent [`rlchol_dense::pool`], per-target
+//!   locks, composable node-level BLAS striping, and clean error/panic
+//!   propagation out of the team.
+//! * [`gpu`] — the **pipelined multi-stream GPU executor**: independent
+//!   ready supernodes are dispatched round-robin onto `RLCHOL_STREAMS`
+//!   simulated compute/copy stream pairs (per-pair device buffers,
+//!   `Event`-gated buffer reuse), while supernodes retire — host
+//!   assembly, CPU-path work, frontier release — in ascending order so
+//!   the factor stays bit-identical to the single-stream engines at any
+//!   stream count.
+
+pub mod cpu;
+pub mod driver;
+pub mod gpu;
+
+pub use cpu::{factor_rl_cpu_par, factor_rlb_cpu_par};
+pub use driver::Frontier;
+pub use gpu::{factor_rl_gpu_pipe, factor_rlb_gpu_pipe};

@@ -116,6 +116,14 @@ impl CholeskySolver {
                 let run = factor_rlb_gpu(&sym, &a_fact, &opts.gpu, RlbGpuVersion::V2)?;
                 (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
             }
+            Method::RlGpuPipe => {
+                let run = crate::sched::factor_rl_gpu_pipe(&sym, &a_fact, &opts.gpu)?;
+                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
+            }
+            Method::RlbGpuPipe => {
+                let run = crate::sched::factor_rlb_gpu_pipe(&sym, &a_fact, &opts.gpu)?;
+                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
+            }
         };
         Ok(CholeskySolver {
             sym,
@@ -213,6 +221,11 @@ mod tests {
         check_pipeline(Method::RlGpu, GpuOptions::with_threshold(200));
         check_pipeline(Method::RlbGpuV1, GpuOptions::with_threshold(200));
         check_pipeline(Method::RlbGpuV2, GpuOptions::with_threshold(200));
+        // The pipelined engines resolve streams from RLCHOL_STREAMS here
+        // (streams: 0), so the CI matrix exercises both degenerate and
+        // multi-stream configurations through this test.
+        check_pipeline(Method::RlGpuPipe, GpuOptions::with_threshold(200));
+        check_pipeline(Method::RlbGpuPipe, GpuOptions::with_threshold(200));
     }
 
     #[test]

@@ -34,7 +34,9 @@
 //! is set to a positive integer, and by
 //! [`std::thread::available_parallelism`] otherwise; the submitting
 //! thread participates in execution, so `RLCHOL_THREADS=8` means eight
-//! runnable lanes in total.
+//! runnable lanes in total. (Its device-side sibling is
+//! `RLCHOL_STREAMS`, which sizes the pipelined GPU engines' simulated
+//! stream pairs — see `rlchol-gpu`'s crate docs.)
 
 pub mod flops;
 pub mod gemm;

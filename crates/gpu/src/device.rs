@@ -4,7 +4,21 @@ use parking_lot::Mutex;
 use rlchol_perfmodel::{GpuModel, TraceOp};
 
 use crate::error::GpuError;
-use crate::stats::GpuStats;
+use crate::stats::{GpuStats, StreamStats};
+
+/// Stream-pair count for the pipelined engines: `RLCHOL_STREAMS` if set
+/// to a positive integer, otherwise 2 (one pair overlapping another —
+/// the smallest configuration that pipelines at all). Engines treat an
+/// explicit stream count in their options as overriding this.
+pub fn default_streams() -> usize {
+    match std::env::var("RLCHOL_STREAMS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => 2,
+        },
+        Err(_) => 2,
+    }
+}
 
 /// Handle to a device memory buffer (`f64` elements).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +79,10 @@ impl Gpu {
                 streams: vec![0.0],
                 host_clock: 0.0,
                 blocking: false,
-                stats: GpuStats::default(),
+                stats: GpuStats {
+                    per_stream: vec![StreamStats::default()],
+                    ..GpuStats::default()
+                },
                 l11_scratch: Vec::new(),
             }),
         }
@@ -86,6 +103,7 @@ impl Gpu {
         let mut st = self.state.lock();
         let now = st.host_clock;
         st.streams.push(now);
+        st.stats.per_stream.push(StreamStats::default());
         StreamId(st.streams.len() - 1)
     }
 
@@ -194,7 +212,7 @@ impl Gpu {
 
     /// Snapshot of the accumulated counters.
     pub fn stats(&self) -> GpuStats {
-        self.state.lock().stats
+        self.state.lock().stats.clone()
     }
 
     fn check_range(st: &State, buf: Buffer, offset: usize, len: usize) -> Result<(), GpuError> {
@@ -241,6 +259,8 @@ impl Gpu {
         st.stats.h2d_count += 1;
         st.stats.h2d_bytes += bytes as u64;
         st.stats.transfer_seconds += dur;
+        st.stats.per_stream[stream.0].transfer_count += 1;
+        st.stats.per_stream[stream.0].transfer_seconds += dur;
         Self::advance(&mut st, stream, dur);
         Ok(())
     }
@@ -266,6 +286,8 @@ impl Gpu {
         st.stats.d2h_count += 1;
         st.stats.d2h_bytes += bytes as u64;
         st.stats.transfer_seconds += dur;
+        st.stats.per_stream[stream.0].transfer_count += 1;
+        st.stats.per_stream[stream.0].transfer_seconds += dur;
         Self::advance(&mut st, stream, dur);
         Ok(())
     }
@@ -274,6 +296,8 @@ impl Gpu {
         let dur = self.model.kernel_time(&op);
         st.stats.kernel_launches += 1;
         st.stats.kernel_seconds += dur;
+        st.stats.per_stream[stream.0].kernel_launches += 1;
+        st.stats.per_stream[stream.0].kernel_seconds += dur;
         Self::advance(st, stream, dur);
     }
 

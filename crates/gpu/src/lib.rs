@@ -22,11 +22,23 @@
 //! The host side participates through [`Gpu::host_compute`] (CPU work
 //! advances the host clock) and [`Gpu::synchronize`] /
 //! [`Gpu::sync_stream`]; total simulated runtime is [`Gpu::elapsed`].
+//!
+//! ## Multi-stream pipelining
+//!
+//! Streams are cheap cursors, so engines may create as many compute/copy
+//! pairs as they like and pipeline independent work across them; the
+//! pipelined factorization engines size their pair count from
+//! `RLCHOL_STREAMS` (see [`default_streams`]), mirroring how
+//! `RLCHOL_THREADS` sizes the host thread pool. [`GpuStats`] keeps a
+//! [`StreamStats`] breakdown per stream (kernel/transfer time and
+//! counts), from which per-stream utilization over [`Gpu::elapsed`]
+//! falls out directly. Note the model has no PCIe-contention term:
+//! transfers on distinct streams overlap freely, as kernels do.
 
 pub mod device;
 pub mod error;
 pub mod stats;
 
-pub use device::{Buffer, Event, Gpu, StreamId};
+pub use device::{default_streams, Buffer, Event, Gpu, StreamId};
 pub use error::GpuError;
-pub use stats::GpuStats;
+pub use stats::{GpuStats, StreamStats};

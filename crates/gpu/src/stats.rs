@@ -1,7 +1,29 @@
 //! Aggregate counters of a simulated-device session.
 
-/// Counters accumulated by the [`Gpu`](crate::Gpu) runtime.
+/// Per-stream slice of the device counters: what one in-order stream was
+/// asked to execute. `busy_seconds` over the session's elapsed time is
+/// that stream's utilization — the number the pipelined engines tune.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Kernels launched on this stream.
+    pub kernel_launches: u64,
+    /// Simulated seconds of kernel time issued to this stream.
+    pub kernel_seconds: f64,
+    /// Transfers (either direction) issued to this stream.
+    pub transfer_count: u64,
+    /// Simulated seconds of transfer time issued to this stream.
+    pub transfer_seconds: f64,
+}
+
+impl StreamStats {
+    /// Total simulated seconds this stream spent executing work.
+    pub fn busy_seconds(&self) -> f64 {
+        self.kernel_seconds + self.transfer_seconds
+    }
+}
+
+/// Counters accumulated by the [`Gpu`](crate::Gpu) runtime.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GpuStats {
     /// Kernels launched.
     pub kernel_launches: u64,
@@ -23,12 +45,30 @@ pub struct GpuStats {
     pub used_bytes: u64,
     /// High-water mark of device memory, bytes.
     pub peak_bytes: u64,
+    /// Per-stream kernel/transfer breakdown, indexed like the stream ids
+    /// (entry 0 is the default stream; one more per `create_stream`).
+    pub per_stream: Vec<StreamStats>,
 }
 
 impl GpuStats {
     /// Total bytes across both transfer directions.
     pub fn total_transfer_bytes(&self) -> u64 {
         self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Per-stream utilization over `elapsed` simulated seconds (busy
+    /// fraction per stream, in stream-id order).
+    pub fn stream_utilization(&self, elapsed: f64) -> Vec<f64> {
+        self.per_stream
+            .iter()
+            .map(|s| {
+                if elapsed > 0.0 {
+                    s.busy_seconds() / elapsed
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 }
 
@@ -44,5 +84,22 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total_transfer_bytes(), 42);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_elapsed() {
+        let s = GpuStats {
+            per_stream: vec![
+                StreamStats {
+                    kernel_seconds: 1.0,
+                    transfer_seconds: 1.0,
+                    ..Default::default()
+                },
+                StreamStats::default(),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(s.stream_utilization(4.0), vec![0.5, 0.0]);
+        assert_eq!(s.stream_utilization(0.0), vec![0.0, 0.0]);
     }
 }

@@ -72,6 +72,7 @@ fn main() {
         machine: MachineModel::perlmutter(64).scale_compute(scale),
         threshold,
         overlap: true,
+        streams: 0,
     };
     println!("\nGPU-accelerated engines (threshold = {threshold}, overlap on):");
     let runs = [

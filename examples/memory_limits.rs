@@ -45,6 +45,7 @@ fn main() {
                 .with_gpu_capacity(cap),
             threshold: 0,
             overlap: true,
+            streams: 0,
         };
         let rl = match factor_rl_gpu(&sym, &a_fact, &opts) {
             Ok(r) => format!("{:.1} KiB peak", r.stats.peak_bytes as f64 / 1024.0),

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural]
-//! rlchol factor  <matrix.mtx> [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu] [--ordering ...]
+//! rlchol factor  <matrix.mtx> [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu|rl-gpu-pipe|rlb-gpu-pipe] [--ordering ...]
 //! rlchol solve   <matrix.mtx> [--method ...]   # b = A·1, reports errors
 //! rlchol spy     <matrix.mtx> [--size N]       # ASCII sparsity plot
 //! ```
@@ -19,7 +19,8 @@ use rlchol::{CholeskySolver, OrderingMethod, SolverOptions, SymCsc};
 fn usage() -> ! {
     eprintln!(
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
-         [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu] [--ordering nd|md|rcm|natural] [--size N]"
+         [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu|rl-gpu-pipe|rlb-gpu-pipe] \
+         [--ordering nd|md|rcm|natural] [--size N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +53,8 @@ fn parse_args() -> Args {
                     "mf" => Method::MfCpu,
                     "rl-gpu" => Method::RlGpu,
                     "rlb-gpu" => Method::RlbGpuV2,
+                    "rl-gpu-pipe" => Method::RlGpuPipe,
+                    "rlb-gpu-pipe" => Method::RlbGpuPipe,
                     _ => usage(),
                 }
             }
@@ -95,6 +98,7 @@ fn solver_options(args: &Args) -> SolverOptions {
             machine: MachineModel::perlmutter(64).scale_compute(24.0),
             threshold: 12_000,
             overlap: true,
+            streams: 0,
         },
         ..SolverOptions::default()
     }

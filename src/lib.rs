@@ -45,12 +45,20 @@
 //! | [`core`] | the RL/RLB engines (serial + task-parallel), hybrid dispatch, solves, [`CholeskySolver`] |
 //! | [`report`] | performance profiles, tables, plots |
 //!
-//! ## Threads
+//! ## Threads and streams
 //!
 //! The task-parallel engines ([`Method::RlCpuPar`], [`Method::RlbCpuPar`])
 //! and the striped dense kernels share one persistent work-stealing pool,
 //! sized by the **`RLCHOL_THREADS`** environment variable (positive
 //! integer) or, when unset, by [`std::thread::available_parallelism`].
+//!
+//! The pipelined GPU engines ([`Method::RlGpuPipe`],
+//! [`Method::RlbGpuPipe`]) dispatch independent ready supernodes onto
+//! simulated compute/copy stream pairs; the pair count comes from the
+//! **`RLCHOL_STREAMS`** environment variable (positive integer, default
+//! 2) unless set explicitly in
+//! [`GpuOptions::streams`](core::engine::GpuOptions::streams). One pair
+//! degenerates to the single-stream schedule, bit-exactly.
 
 pub use rlchol_core as core;
 pub use rlchol_dense as dense;

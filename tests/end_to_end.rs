@@ -24,6 +24,7 @@ fn gpu_opts(threshold: usize) -> GpuOptions {
         machine: MachineModel::perlmutter(64).scale_compute(24.0),
         threshold,
         overlap: true,
+        streams: 0,
     }
 }
 
@@ -46,6 +47,8 @@ fn every_method_solves_every_family() {
         Method::RlGpu,
         Method::RlbGpuV1,
         Method::RlbGpuV2,
+        Method::RlGpuPipe,
+        Method::RlbGpuPipe,
     ];
     for (name, a) in &matrices {
         for &method in &methods {

@@ -25,6 +25,7 @@ fn opts(threshold: usize) -> GpuOptions {
         machine: MachineModel::perlmutter(64).scale_compute(24.0),
         threshold,
         overlap: true,
+        streams: 0,
     }
 }
 

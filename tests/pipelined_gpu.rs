@@ -1,0 +1,164 @@
+//! Integration tests of the pipelined multi-stream GPU engines: factors
+//! must be bit-identical to the single-stream engines at every stream
+//! count, device memory pressure must shed stream pairs before failing,
+//! and numeric failures must propagate cleanly out of the pipeline.
+
+use rlchol::core::engine::GpuOptions;
+use rlchol::core::gpu_rl::factor_rl_gpu;
+use rlchol::core::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
+use rlchol::core::sched::{factor_rl_gpu_pipe, factor_rlb_gpu_pipe};
+use rlchol::core::FactorError;
+use rlchol::matgen::{grid2d, grid3d, Stencil};
+use rlchol::ordering::{order, OrderingMethod};
+use rlchol::perfmodel::MachineModel;
+use rlchol::sparse::{SymCsc, TripletMatrix};
+use rlchol::symbolic::{analyze, SymbolicFactor, SymbolicOptions};
+
+const STREAM_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Order (nested dissection, for a bushy tree) and analyze.
+fn prepared(a: &SymCsc) -> (SymbolicFactor, SymCsc) {
+    let fill = order(a, OrderingMethod::NestedDissection);
+    let af = a.permute(&fill);
+    let sym = analyze(&af, &SymbolicOptions::default());
+    let ap = af.permute(&sym.perm);
+    (sym, ap)
+}
+
+/// Pipelined RL/RLB against their single-stream engines, bitwise, over
+/// the stream sweep and a CPU/GPU-mixing threshold.
+fn check_bit_identical(a: &SymCsc, label: &str) {
+    let (sym, ap) = prepared(a);
+    for threshold in [0usize, 300] {
+        let opts = GpuOptions::with_threshold(threshold);
+        let rl = factor_rl_gpu(&sym, &ap, &opts).unwrap();
+        let rlb = factor_rlb_gpu(&sym, &ap, &opts, RlbGpuVersion::V1).unwrap();
+        for streams in STREAM_SWEEP {
+            let o = opts.with_streams(streams);
+            let rl_pipe = factor_rl_gpu_pipe(&sym, &ap, &o).unwrap();
+            assert_eq!(rl_pipe.streams_used, streams, "{label} thr {threshold}");
+            assert_eq!(
+                rl.factor.sn, rl_pipe.factor.sn,
+                "{label}: RL thr {threshold} streams {streams} not bit-identical"
+            );
+            let rlb_pipe = factor_rlb_gpu_pipe(&sym, &ap, &o).unwrap();
+            assert_eq!(
+                rlb.factor.sn, rlb_pipe.factor.sn,
+                "{label}: RLB thr {threshold} streams {streams} not bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_matches_single_stream_bitwise_on_2d_grid() {
+    check_bit_identical(&grid2d(16, 14, Stencil::Star5, 1, 61), "grid2d(16,14)");
+}
+
+#[test]
+fn pipelined_matches_single_stream_bitwise_on_3d_grid() {
+    check_bit_identical(&grid3d(7, 6, 6, Stencil::Star7, 1, 62), "grid3d(7,6,6)");
+}
+
+#[test]
+fn multi_stream_pipelining_speeds_up_the_simulated_clock() {
+    // The acceptance shape: on a 3-D problem with a bushy elimination
+    // tree, going 1 -> 2 stream pairs must strictly shrink simulated
+    // elapsed time, and more pairs never hurt.
+    let a = grid3d(10, 10, 10, Stencil::Star7, 1, 63);
+    let (sym, ap) = prepared(&a);
+    let opts = GpuOptions::with_threshold(0);
+    let mut prev = f64::INFINITY;
+    for (i, streams) in STREAM_SWEEP.into_iter().enumerate() {
+        let t = factor_rl_gpu_pipe(&sym, &ap, &opts.with_streams(streams))
+            .unwrap()
+            .sim_seconds;
+        if i == 1 {
+            assert!(t < prev, "2 streams must strictly beat 1: {t} vs {prev}");
+        } else {
+            assert!(
+                t <= prev + 1e-12,
+                "streams {streams} regressed: {t} vs {prev}"
+            );
+        }
+        prev = t;
+    }
+}
+
+#[test]
+fn oom_sheds_stream_pairs_before_failing() {
+    let a = grid3d(6, 6, 5, Stencil::Star7, 1, 64);
+    let (sym, ap) = prepared(&a);
+    let max_panel = (0..sym.nsup()).map(|s| sym.sn_storage(s)).max().unwrap();
+    let pair = ((max_panel + sym.max_update_matrix_entries()) * 8) as u64;
+    // Room for two pairs and change, but not the four requested: the
+    // engine must fall back to two streams and still produce the exact
+    // single-stream factor.
+    let mut opts = GpuOptions::with_threshold(0).with_streams(4);
+    opts.machine = MachineModel::perlmutter(16).with_gpu_capacity(pair * 2 + pair / 2);
+    let run = factor_rl_gpu_pipe(&sym, &ap, &opts).unwrap();
+    assert_eq!(run.streams_used, 2, "expected fallback to 2 stream pairs");
+    assert!(run.stats.peak_bytes <= pair * 2 + pair / 2);
+    let base = factor_rl_gpu(&sym, &ap, &GpuOptions::with_threshold(0)).unwrap();
+    assert_eq!(base.factor.sn, run.factor.sn);
+}
+
+#[test]
+fn oom_propagates_when_no_pair_fits() {
+    let a = grid3d(6, 6, 5, Stencil::Star7, 1, 65);
+    let (sym, ap) = prepared(&a);
+    let max_panel = (0..sym.nsup()).map(|s| sym.sn_storage(s)).max().unwrap();
+    let pair = ((max_panel + sym.max_update_matrix_entries()) * 8) as u64;
+    for streams in STREAM_SWEEP {
+        let mut opts = GpuOptions::with_threshold(0).with_streams(streams);
+        opts.machine = MachineModel::perlmutter(16).with_gpu_capacity(pair / 2);
+        assert!(
+            matches!(
+                factor_rl_gpu_pipe(&sym, &ap, &opts),
+                Err(FactorError::GpuOutOfMemory { .. })
+            ),
+            "streams {streams}"
+        );
+    }
+}
+
+#[test]
+fn indefinite_matrix_errors_cleanly_under_pipelining() {
+    // A strongly negative diagonal entry partway through the chain; the
+    // pipeline must surface NotPositiveDefinite from the eager device
+    // POTRF at any stream count — no wrong factor, no hang.
+    let n = 150;
+    let mut t = TripletMatrix::new(n, n);
+    for j in 0..n {
+        t.push(j, j, if j == 77 { -50.0 } else { 4.0 });
+        if j + 1 < n {
+            t.push(j + 1, j, -1.0);
+        }
+    }
+    let a = SymCsc::from_lower_triplets(&t).unwrap();
+    let (sym, ap) = prepared(&a);
+    for streams in STREAM_SWEEP {
+        for threshold in [0usize, 200] {
+            let opts = GpuOptions::with_threshold(threshold).with_streams(streams);
+            assert!(
+                matches!(
+                    factor_rl_gpu_pipe(&sym, &ap, &opts),
+                    Err(FactorError::NotPositiveDefinite { .. })
+                ),
+                "RL streams {streams} thr {threshold}"
+            );
+            assert!(
+                matches!(
+                    factor_rlb_gpu_pipe(&sym, &ap, &opts),
+                    Err(FactorError::NotPositiveDefinite { .. })
+                ),
+                "RLB streams {streams} thr {threshold}"
+            );
+        }
+    }
+    // The engines stay usable afterwards (fresh device per run, shared
+    // host pool survives).
+    let good = grid2d(8, 8, Stencil::Star5, 1, 9);
+    let (gs, gap) = prepared(&good);
+    assert!(factor_rlb_gpu_pipe(&gs, &gap, &GpuOptions::with_threshold(0).with_streams(2)).is_ok());
+}
