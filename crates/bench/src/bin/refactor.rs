@@ -1,0 +1,146 @@
+//! Analyze-once amortization curve: staged refactorization vs the
+//! one-shot pipeline on a nested-dissection-ordered 3-D grid.
+//!
+//! Measures the staged API's serving-loop economics: ordering +
+//! symbolic analysis is paid once per pattern, each subsequent
+//! same-pattern factorization reuses the symbolic structure and the
+//! factor storage. For `k` factorizations the staged path costs
+//! `analyze + k × refactor` against the one-shot path's
+//! `k × (analyze + factor)`; the ratio approaches
+//! `(analyze + factor) / refactor` as `k` grows.
+//!
+//! Prints a table and writes `BENCH_refactor.json` so successive PRs
+//! can track the curve.
+//!
+//! Usage: `refactor [k] [out.json]` — `k` is the grid edge (default 14;
+//! use a smaller k for a quick smoke run).
+
+use std::time::Instant;
+
+use rlchol_core::{CholeskySolver, Method, SolverOptions};
+use rlchol_matgen::{grid3d, Stencil};
+
+const SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const PATTERN_SEED: u64 = 77;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args
+        .next()
+        .map(|v| v.parse().expect("grid edge must be an integer"))
+        .unwrap_or(14);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_refactor.json".to_string());
+
+    let name = format!("grid3d({k}, {k}, {k}, Star7)");
+    eprintln!("generating {name} ...");
+    let a0 = grid3d(k, k, k, Stencil::Star7, 1, PATTERN_SEED);
+    let opts = SolverOptions {
+        method: Method::RlbCpu,
+        ..SolverOptions::default()
+    };
+
+    // Stage timings. Each value-set is regenerated outside the timed
+    // region (the serving loop's values arrive from the application).
+    let t0 = Instant::now();
+    let handle = CholeskySolver::analyze(&a0, &opts);
+    let t_analyze = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut fact = handle.factor_with(&a0).expect("SPD input");
+    let t_first_factor = t0.elapsed().as_secs_f64();
+
+    let refactors = 6usize;
+    let mut t_refactor = 0.0;
+    for i in 0..refactors {
+        let a = grid3d(k, k, k, Stencil::Star7, 1, PATTERN_SEED + 1 + i as u64);
+        let t0 = Instant::now();
+        handle.refactor(&mut fact, &a).expect("SPD values");
+        t_refactor += t0.elapsed().as_secs_f64();
+    }
+    t_refactor /= refactors as f64;
+
+    // One-shot reference (fresh ordering + analysis + factor each time).
+    let oneshots = 3usize;
+    let mut t_oneshot = 0.0;
+    for i in 0..oneshots {
+        let a = grid3d(k, k, k, Stencil::Star7, 1, PATTERN_SEED + 100 + i as u64);
+        let t0 = Instant::now();
+        CholeskySolver::factor(&a, &opts).expect("SPD input");
+        t_oneshot += t0.elapsed().as_secs_f64();
+    }
+    t_oneshot /= oneshots as f64;
+
+    let sym = handle.symbolic();
+    eprintln!(
+        "n = {}, supernodes = {}, factor nnz = {}, flops = {:.3e}",
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        sym.flops
+    );
+    println!(
+        "analyze {:.2} ms | first factor {:.2} ms | refactor {:.2} ms | one-shot {:.2} ms",
+        t_analyze * 1e3,
+        t_first_factor * 1e3,
+        t_refactor * 1e3,
+        t_oneshot * 1e3
+    );
+    println!(
+        "symbolic/numeric cost ratio: {:.2} (analysis amortized away by refactoring)",
+        t_analyze / t_refactor
+    );
+
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>8}",
+        "k", "staged ms/fac", "one-shot ms/fac", "speedup"
+    );
+    let mut rows = Vec::new();
+    for steps in SWEEP {
+        let staged = (t_analyze + t_first_factor + (steps - 1) as f64 * t_refactor) / steps as f64;
+        let speedup = t_oneshot / staged;
+        println!(
+            "{steps:>6}  {:>14.3}  {:>14.3}  {speedup:>8.2}",
+            staged * 1e3,
+            t_oneshot * 1e3
+        );
+        rows.push(format!(
+            "    {{\"k\": {steps}, \"staged_amortized_s\": {staged:.9}, \
+             \"oneshot_s\": {t_oneshot:.9}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"matrix\": \"{}\",\n",
+            "  \"n\": {},\n",
+            "  \"supernodes\": {},\n",
+            "  \"factor_nnz\": {},\n",
+            "  \"flops\": {:.6e},\n",
+            "  \"method\": \"{}\",\n",
+            "  \"analyze_s\": {:.9},\n",
+            "  \"first_factor_s\": {:.9},\n",
+            "  \"refactor_s\": {:.9},\n",
+            "  \"oneshot_s\": {:.9},\n",
+            "  \"symbolic_over_numeric\": {:.4},\n",
+            "  \"amortization\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        name,
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        sym.flops,
+        opts.method.label(),
+        t_analyze,
+        t_first_factor,
+        t_refactor,
+        t_oneshot,
+        t_analyze / t_refactor,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("writing refactor JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -36,6 +36,23 @@ pub enum Method {
 }
 
 impl Method {
+    /// Every engine, in registry order. The CLI help text, the engine
+    /// registry and the cross-engine tests all iterate this — adding a
+    /// variant here is the single registration step.
+    pub const ALL: [Method; 11] = [
+        Method::RlCpu,
+        Method::RlbCpu,
+        Method::RlCpuPar,
+        Method::RlbCpuPar,
+        Method::LlCpu,
+        Method::MfCpu,
+        Method::RlGpu,
+        Method::RlbGpuV1,
+        Method::RlbGpuV2,
+        Method::RlGpuPipe,
+        Method::RlbGpuPipe,
+    ];
+
     /// Short display name matching the paper's Figure 3 labels.
     pub fn label(&self) -> &'static str {
         match self {
@@ -51,6 +68,57 @@ impl Method {
             Method::RlGpuPipe => "RL_G(pipe)",
             Method::RlbGpuPipe => "RLB_G(pipe)",
         }
+    }
+
+    /// True for the (simulated-)device engines — the ones
+    /// [`GpuOptions`] applies to. Lets tests and harnesses pick
+    /// per-engine configuration without a hand-maintained variant list.
+    pub fn is_gpu(&self) -> bool {
+        matches!(
+            self,
+            Method::RlGpu
+                | Method::RlbGpuV1
+                | Method::RlbGpuV2
+                | Method::RlGpuPipe
+                | Method::RlbGpuPipe
+        )
+    }
+
+    /// Stable kebab-case name used on the command line (`--method`).
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            Method::RlCpu => "rl",
+            Method::RlbCpu => "rlb",
+            Method::RlCpuPar => "rl-par",
+            Method::RlbCpuPar => "rlb-par",
+            Method::LlCpu => "ll",
+            Method::MfCpu => "mf",
+            Method::RlGpu => "rl-gpu",
+            Method::RlbGpuV1 => "rlb-gpu-v1",
+            Method::RlbGpuV2 => "rlb-gpu",
+            Method::RlGpuPipe => "rl-gpu-pipe",
+            Method::RlbGpuPipe => "rlb-gpu-pipe",
+        }
+    }
+}
+
+impl std::str::FromStr for Method {
+    type Err = String;
+
+    /// Parses either the CLI name (`rlb-gpu`) or the paper label
+    /// (`RLB_G`); both round-trip through [`Method::ALL`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Method::ALL
+            .iter()
+            .find(|m| m.cli_name() == s || m.label() == s)
+            .copied()
+            .ok_or_else(|| {
+                let names: Vec<&str> = Method::ALL.iter().map(|m| m.cli_name()).collect();
+                format!(
+                    "unknown method `{s}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
     }
 }
 
@@ -212,6 +280,24 @@ mod tests {
     fn method_labels() {
         assert_eq!(Method::RlCpu.label(), "RL_C");
         assert_eq!(Method::RlbGpuV2.label(), "RLB_G");
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in Method::ALL {
+            assert_eq!(m.cli_name().parse::<Method>().unwrap(), m);
+            assert_eq!(m.label().parse::<Method>().unwrap(), m);
+        }
+        assert!("bogus".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn method_all_is_exhaustive_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Method::ALL {
+            assert!(seen.insert(m), "{m:?} listed twice");
+        }
+        assert_eq!(seen.len(), Method::ALL.len());
     }
 
     #[test]

@@ -8,6 +8,18 @@ use std::fmt;
 pub enum FactorError {
     /// A diagonal pivot was not strictly positive (matrix not SPD).
     NotPositiveDefinite { column: usize },
+    /// A matrix handed to `factor_with`/`refactor` does not share the
+    /// sparsity pattern the [`SymbolicCholesky`](crate::SymbolicCholesky)
+    /// handle was analyzed for.
+    PatternMismatch {
+        /// First column whose pattern differs (for a dimension mismatch,
+        /// the smaller dimension).
+        column: usize,
+        /// Lower-triangle nonzeros the analyzed pattern has.
+        expected_nnz: usize,
+        /// Lower-triangle nonzeros the offending matrix has.
+        found_nnz: usize,
+    },
     /// The device could not satisfy the engine's memory demand — the
     /// paper's Table I failure mode for nlpkkt120 under RL.
     GpuOutOfMemory {
@@ -24,6 +36,15 @@ impl fmt::Display for FactorError {
             FactorError::NotPositiveDefinite { column } => {
                 write!(f, "matrix is not positive definite at column {column}")
             }
+            FactorError::PatternMismatch {
+                column,
+                expected_nnz,
+                found_nnz,
+            } => write!(
+                f,
+                "sparsity pattern differs from the analyzed pattern at column {column} \
+                 (expected {expected_nnz} lower-triangle nonzeros, found {found_nnz})"
+            ),
             FactorError::GpuOutOfMemory {
                 requested_bytes,
                 capacity_bytes,

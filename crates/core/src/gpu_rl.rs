@@ -32,7 +32,7 @@ use rlchol_symbolic::SymbolicFactor;
 use crate::assemble::assemble_update_pool;
 use crate::engine::{factor_panel, GpuOptions, GpuRun};
 use crate::error::FactorError;
-use crate::storage::FactorData;
+use crate::registry::EngineWorkspace;
 
 /// Decides which supernodes are offloaded under the threshold rule.
 pub fn offload_set(sym: &SymbolicFactor, threshold: usize) -> Vec<bool> {
@@ -47,8 +47,19 @@ pub fn factor_rl_gpu(
     a: &SymCsc,
     opts: &GpuOptions,
 ) -> Result<GpuRun, FactorError> {
+    factor_rl_gpu_ws(sym, a, opts, &mut EngineWorkspace::default())
+}
+
+/// [`factor_rl_gpu`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rl_gpu_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+    ws: &mut EngineWorkspace,
+) -> Result<GpuRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let gpu = Gpu::new(opts.machine.gpu);
     gpu.set_blocking(!opts.overlap);
     let compute = gpu.default_stream();

@@ -33,8 +33,8 @@ use rlchol_symbolic::SymbolicFactor;
 use crate::engine::{factor_panel, GpuOptions, GpuRun};
 use crate::error::FactorError;
 use crate::gpu_rl::offload_set;
+use crate::registry::EngineWorkspace;
 use crate::rlb::{rlb_run_updates, rlb_target_runs};
-use crate::storage::FactorData;
 
 /// Which RLB GPU variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,8 +241,20 @@ pub fn factor_rlb_gpu(
     opts: &GpuOptions,
     version: RlbGpuVersion,
 ) -> Result<GpuRun, FactorError> {
+    factor_rlb_gpu_ws(sym, a, opts, version, &mut EngineWorkspace::default())
+}
+
+/// [`factor_rlb_gpu`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rlb_gpu_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+    version: RlbGpuVersion,
+    ws: &mut EngineWorkspace,
+) -> Result<GpuRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let gpu = Gpu::new(opts.machine.gpu);
     gpu.set_blocking(!opts.overlap);
     let compute = gpu.default_stream();

@@ -53,16 +53,20 @@ pub mod gpu_rl;
 pub mod gpu_rlb;
 pub mod ll;
 pub mod multifrontal;
+pub mod registry;
 pub mod rl;
 pub mod rlb;
 pub mod sched;
 pub mod simplicial;
 pub mod solve;
 pub mod solver;
+pub mod staged;
 pub mod storage;
 
 pub use engine::{best_cpu_time, CpuRun, GpuOptions, GpuRun, Method};
 pub use error::FactorError;
+pub use registry::{engine_for, EngineRun, EngineWorkspace, FactorInfo, NumericEngine};
 pub use sched::{factor_rl_cpu_par, factor_rl_gpu_pipe, factor_rlb_cpu_par, factor_rlb_gpu_pipe};
 pub use solver::{CholeskySolver, SolverOptions};
+pub use staged::{Factorization, SolveWorkspace, SymbolicCholesky};
 pub use storage::FactorData;

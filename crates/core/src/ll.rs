@@ -27,13 +27,23 @@ use rlchol_symbolic::SymbolicFactor;
 
 use crate::engine::{factor_panel, CpuRun};
 use crate::error::FactorError;
-use crate::storage::FactorData;
+use crate::registry::EngineWorkspace;
 
 /// Factors `a` (permuted into factor order) with the left-looking
 /// supernodal method.
 pub fn factor_ll_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorError> {
+    factor_ll_cpu_ws(sym, a, &mut EngineWorkspace::default())
+}
+
+/// [`factor_ll_cpu`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_ll_cpu_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    ws: &mut EngineWorkspace,
+) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let mut trace = Trace::new();
     let nsup = sym.nsup();
     let mut l11 = Vec::new();

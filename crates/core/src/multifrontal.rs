@@ -28,7 +28,7 @@ use rlchol_symbolic::SymbolicFactor;
 
 use crate::engine::{factor_panel, CpuRun};
 use crate::error::FactorError;
-use crate::storage::FactorData;
+use crate::registry::EngineWorkspace;
 
 /// One stacked update (Schur complement) waiting for its parent.
 struct StackedUpdate {
@@ -52,8 +52,18 @@ pub fn factor_multifrontal_cpu(
     sym: &SymbolicFactor,
     a: &SymCsc,
 ) -> Result<MultifrontalRun, FactorError> {
+    factor_multifrontal_cpu_ws(sym, a, &mut EngineWorkspace::default())
+}
+
+/// [`factor_multifrontal_cpu`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_multifrontal_cpu_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    ws: &mut EngineWorkspace,
+) -> Result<MultifrontalRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let mut trace = Trace::new();
     let nsup = sym.nsup();
     // The postorder property of the factor ordering guarantees each

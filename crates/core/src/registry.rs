@@ -1,0 +1,334 @@
+//! The numeric-engine registry: one trait, eleven engines.
+//!
+//! Historically the solver dispatched on `opts.method` with an 11-arm
+//! `match`, and each engine family reported results through its own
+//! shape (`CpuRun` with a trace, `GpuRun` with simulated seconds and
+//! device counters, `MultifrontalRun` with stack statistics). This
+//! module funnels all of them through one interface:
+//!
+//! * [`NumericEngine`] — `factor(sym, a, ws)` produces an [`EngineRun`]:
+//!   the factor plus a uniform [`FactorInfo`] (wall time, simulated
+//!   seconds, supernodes on GPU, stream count, per-stream device stats,
+//!   CPU trace).
+//! * [`EngineWorkspace`] — the engine-resolved resources a
+//!   [`SymbolicCholesky`](crate::SymbolicCholesky) handle owns across
+//!   repeated factorizations: pool lanes, GPU options (threshold,
+//!   stream pairs), recycled factor storage, and the serial engines'
+//!   scratch buffers. Refactoring a same-pattern matrix reuses all of
+//!   it — no factor reallocation, no scratch regrowth.
+//! * [`engine_for`] — the registry lookup keyed by [`Method`]. Every
+//!   variant of [`Method::ALL`] is registered; the exhaustiveness test
+//!   below keeps the two lists in lock-step.
+
+use std::time::Duration;
+
+use rlchol_gpu::GpuStats;
+use rlchol_perfmodel::Trace;
+use rlchol_sparse::SymCsc;
+use rlchol_symbolic::SymbolicFactor;
+
+use crate::engine::{CpuRun, GpuOptions, GpuRun, Method};
+use crate::error::FactorError;
+use crate::storage::FactorData;
+
+/// Uniform per-factorization report, shared by every engine.
+#[derive(Debug, Clone, Default)]
+pub struct FactorInfo {
+    /// Real wall-clock duration of the factorization.
+    pub wall: Duration,
+    /// Simulated end-to-end seconds on the paper platform (GPU engines
+    /// only).
+    pub sim_seconds: Option<f64>,
+    /// Supernodes whose BLAS ran on the (simulated) device.
+    pub sn_on_gpu: usize,
+    /// Compute/copy stream pairs used (0 for the CPU engines; the
+    /// pipelined engines may shed pairs to fit device memory).
+    pub streams_used: usize,
+    /// Device counters, including the per-stream kernel/transfer
+    /// breakdown (GPU engines only).
+    pub gpu: Option<GpuStats>,
+    /// Operation trace, replayable under the performance model (CPU
+    /// engines only).
+    pub trace: Option<Trace>,
+}
+
+/// What an engine hands back: the numeric factor plus its report.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// The numeric factor.
+    pub factor: FactorData,
+    /// The uniform report.
+    pub info: FactorInfo,
+}
+
+impl EngineRun {
+    fn from_cpu(run: CpuRun) -> Self {
+        EngineRun {
+            factor: run.factor,
+            info: FactorInfo {
+                wall: run.wall,
+                trace: Some(run.trace),
+                ..FactorInfo::default()
+            },
+        }
+    }
+
+    fn from_gpu(run: GpuRun) -> Self {
+        EngineRun {
+            factor: run.factor,
+            info: FactorInfo {
+                wall: run.wall,
+                sim_seconds: Some(run.sim_seconds),
+                sn_on_gpu: run.sn_on_gpu,
+                streams_used: run.streams_used,
+                gpu: Some(run.stats),
+                ..FactorInfo::default()
+            },
+        }
+    }
+}
+
+/// Engine-resolved resources, owned by a
+/// [`SymbolicCholesky`](crate::SymbolicCholesky) handle and threaded
+/// through every factorization it runs.
+#[derive(Debug, Default)]
+pub struct EngineWorkspace {
+    /// Pool lanes for the task-parallel CPU engines; `0` resolves to
+    /// `RLCHOL_THREADS` / available parallelism at use.
+    pub lanes: usize,
+    /// GPU engine options (threshold, machine model, stream pairs).
+    /// `streams == 0` resolves to `RLCHOL_STREAMS` / its default.
+    pub gpu: Option<GpuOptions>,
+    /// Factor storage recycled from a previous same-pattern
+    /// factorization; [`take_factor`](Self::take_factor) reuses it
+    /// instead of reallocating.
+    recycle: Option<FactorData>,
+    /// RL's preallocated update-matrix workspace (§II-A), kept across
+    /// refactorizations.
+    pub(crate) upd: Vec<f64>,
+    /// Diagonal-block copy scratch shared by the serial panel kernels.
+    pub(crate) l11: Vec<f64>,
+}
+
+impl EngineWorkspace {
+    /// Workspace with explicitly resolved resources.
+    pub fn new(lanes: usize, gpu: GpuOptions) -> Self {
+        EngineWorkspace {
+            lanes,
+            gpu: Some(gpu),
+            ..EngineWorkspace::default()
+        }
+    }
+
+    /// Resolved lane count for the task-parallel engines.
+    pub fn resolved_lanes(&self) -> usize {
+        if self.lanes == 0 {
+            rlchol_dense::pool::default_threads()
+        } else {
+            self.lanes
+        }
+    }
+
+    /// Resolved GPU options (defaults to an everything-on-CPU threshold
+    /// when none were provided).
+    pub fn resolved_gpu(&self) -> GpuOptions {
+        self.gpu
+            .unwrap_or_else(|| GpuOptions::with_threshold(usize::MAX))
+    }
+
+    /// Hands storage for a factorization of `a`: the recycled factor
+    /// when its shape matches `sym` (zeroed and reloaded in place),
+    /// fresh storage otherwise.
+    pub fn take_factor(&mut self, sym: &SymbolicFactor, a: &SymCsc) -> FactorData {
+        match self.recycle.take() {
+            Some(mut data) if data.shape_matches(sym) => {
+                data.reload(sym, a);
+                data
+            }
+            _ => FactorData::load(sym, a),
+        }
+    }
+
+    /// Returns factor storage for reuse by the next
+    /// [`take_factor`](Self::take_factor) call.
+    pub fn recycle(&mut self, data: FactorData) {
+        self.recycle = Some(data);
+    }
+
+    /// Grows (never shrinks) the RL update workspace to `entries`.
+    pub(crate) fn upd_mut(&mut self, entries: usize) -> &mut [f64] {
+        if self.upd.len() < entries {
+            self.upd.resize(entries, 0.0);
+        }
+        &mut self.upd
+    }
+}
+
+/// A numeric factorization engine, dispatchable by [`Method`].
+pub trait NumericEngine: Sync {
+    /// The [`Method`] this engine implements (the registry key).
+    fn method(&self) -> Method;
+
+    /// Factors `a` (already permuted into factor order) for the
+    /// structure `sym`, drawing storage and resources from `ws`.
+    fn factor(
+        &self,
+        sym: &SymbolicFactor,
+        a: &SymCsc,
+        ws: &mut EngineWorkspace,
+    ) -> Result<EngineRun, FactorError>;
+}
+
+macro_rules! cpu_engine {
+    ($name:ident, $method:expr, $call:expr) => {
+        struct $name;
+        impl NumericEngine for $name {
+            fn method(&self) -> Method {
+                $method
+            }
+            fn factor(
+                &self,
+                sym: &SymbolicFactor,
+                a: &SymCsc,
+                ws: &mut EngineWorkspace,
+            ) -> Result<EngineRun, FactorError> {
+                #[allow(clippy::redundant_closure_call)]
+                ($call)(sym, a, ws).map(EngineRun::from_cpu)
+            }
+        }
+    };
+}
+
+macro_rules! gpu_engine {
+    ($name:ident, $method:expr, $call:expr) => {
+        struct $name;
+        impl NumericEngine for $name {
+            fn method(&self) -> Method {
+                $method
+            }
+            fn factor(
+                &self,
+                sym: &SymbolicFactor,
+                a: &SymCsc,
+                ws: &mut EngineWorkspace,
+            ) -> Result<EngineRun, FactorError> {
+                let opts = ws.resolved_gpu();
+                #[allow(clippy::redundant_closure_call)]
+                ($call)(sym, a, &opts, ws).map(EngineRun::from_gpu)
+            }
+        }
+    };
+}
+
+cpu_engine!(RlCpuEngine, Method::RlCpu, crate::rl::factor_rl_cpu_ws);
+cpu_engine!(RlbCpuEngine, Method::RlbCpu, crate::rlb::factor_rlb_cpu_ws);
+cpu_engine!(LlCpuEngine, Method::LlCpu, crate::ll::factor_ll_cpu_ws);
+cpu_engine!(
+    RlCpuParEngine,
+    Method::RlCpuPar,
+    |sym: &SymbolicFactor, a: &SymCsc, ws: &mut EngineWorkspace| {
+        let lanes = ws.resolved_lanes();
+        crate::sched::factor_rl_cpu_par_ws(sym, a, lanes, ws)
+    }
+);
+cpu_engine!(
+    RlbCpuParEngine,
+    Method::RlbCpuPar,
+    |sym: &SymbolicFactor, a: &SymCsc, ws: &mut EngineWorkspace| {
+        let lanes = ws.resolved_lanes();
+        crate::sched::factor_rlb_cpu_par_ws(sym, a, lanes, ws)
+    }
+);
+cpu_engine!(
+    MfCpuEngine,
+    Method::MfCpu,
+    |sym: &SymbolicFactor, a: &SymCsc, ws: &mut EngineWorkspace| {
+        crate::multifrontal::factor_multifrontal_cpu_ws(sym, a, ws).map(|r| r.run)
+    }
+);
+gpu_engine!(RlGpuEngine, Method::RlGpu, crate::gpu_rl::factor_rl_gpu_ws);
+gpu_engine!(
+    RlbGpuV1Engine,
+    Method::RlbGpuV1,
+    |sym: &SymbolicFactor, a: &SymCsc, opts: &GpuOptions, ws: &mut EngineWorkspace| {
+        crate::gpu_rlb::factor_rlb_gpu_ws(sym, a, opts, crate::gpu_rlb::RlbGpuVersion::V1, ws)
+    }
+);
+gpu_engine!(
+    RlbGpuV2Engine,
+    Method::RlbGpuV2,
+    |sym: &SymbolicFactor, a: &SymCsc, opts: &GpuOptions, ws: &mut EngineWorkspace| {
+        crate::gpu_rlb::factor_rlb_gpu_ws(sym, a, opts, crate::gpu_rlb::RlbGpuVersion::V2, ws)
+    }
+);
+gpu_engine!(
+    RlGpuPipeEngine,
+    Method::RlGpuPipe,
+    crate::sched::factor_rl_gpu_pipe_ws
+);
+gpu_engine!(
+    RlbGpuPipeEngine,
+    Method::RlbGpuPipe,
+    crate::sched::factor_rlb_gpu_pipe_ws
+);
+
+/// The registry, in [`Method::ALL`] order.
+static ENGINES: [&dyn NumericEngine; 11] = [
+    &RlCpuEngine,
+    &RlbCpuEngine,
+    &RlCpuParEngine,
+    &RlbCpuParEngine,
+    &LlCpuEngine,
+    &MfCpuEngine,
+    &RlGpuEngine,
+    &RlbGpuV1Engine,
+    &RlbGpuV2Engine,
+    &RlGpuPipeEngine,
+    &RlbGpuPipeEngine,
+];
+
+/// Looks up the engine registered for `method`.
+pub fn engine_for(method: Method) -> &'static dyn NumericEngine {
+    ENGINES
+        .iter()
+        .copied()
+        .find(|e| e.method() == method)
+        .expect("every Method variant is registered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_method() {
+        for m in Method::ALL {
+            assert_eq!(engine_for(m).method(), m);
+        }
+        assert_eq!(ENGINES.len(), Method::ALL.len());
+    }
+
+    #[test]
+    fn workspace_recycles_matching_storage() {
+        use rlchol_matgen::laplace2d;
+        use rlchol_symbolic::{analyze, SymbolicOptions};
+
+        let a = laplace2d(6, 3);
+        let sym = analyze(&a, &SymbolicOptions::default());
+        let ap = a.permute(&sym.perm);
+        let mut ws = EngineWorkspace::default();
+        let first = ws.take_factor(&sym, &ap);
+        let ptr = first.sn[0].as_ptr();
+        ws.recycle(first);
+        let second = ws.take_factor(&sym, &ap);
+        assert_eq!(second.sn[0].as_ptr(), ptr, "storage must be reused");
+        assert_eq!(second, FactorData::load(&sym, &ap));
+        // A shape mismatch falls back to fresh allocation.
+        let b = laplace2d(7, 3);
+        let sym_b = analyze(&b, &SymbolicOptions::default());
+        let bp = b.permute(&sym_b.perm);
+        ws.recycle(second);
+        let third = ws.take_factor(&sym_b, &bp);
+        assert_eq!(third, FactorData::load(&sym_b, &bp));
+    }
+}

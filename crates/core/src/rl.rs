@@ -16,18 +16,27 @@ use rlchol_symbolic::SymbolicFactor;
 use crate::assemble::assemble_update;
 use crate::engine::{factor_panel, CpuRun};
 use crate::error::FactorError;
-use crate::storage::FactorData;
+use crate::registry::EngineWorkspace;
 
 /// Factors `a` (permuted into factor order) with CPU-only RL.
 pub fn factor_rl_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorError> {
+    factor_rl_cpu_ws(sym, a, &mut EngineWorkspace::default())
+}
+
+/// [`factor_rl_cpu`] drawing factor storage and scratch from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rl_cpu_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    ws: &mut EngineWorkspace,
+) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let mut trace = Trace::new();
     // "The temporary working storage is preallocated so that it can store
     // the largest update matrix during the factorization." (§II-A)
     let rmax2 = sym.max_update_matrix_entries();
-    let mut upd = vec![0.0f64; rmax2];
-    let mut l11 = Vec::new();
+    ws.upd_mut(rmax2);
 
     for s in 0..sym.nsup() {
         let c = sym.sn_ncols(s);
@@ -36,7 +45,7 @@ pub fn factor_rl_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
         let first = sym.sn.first_col(s);
         {
             let arr = &mut data.sn[s];
-            factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
+            factor_panel(arr, len, c, r, &mut ws.l11).map_err(|pivot| {
                 FactorError::NotPositiveDefinite {
                     column: first + pivot,
                 }
@@ -48,10 +57,10 @@ pub fn factor_rl_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorE
             // U := L21 · L21ᵀ in one coarse-grain DSYRK.
             {
                 let arr = &data.sn[s];
-                syrk_ln(r, c, 1.0, &arr[c..], len, 0.0, &mut upd[..r * r], r);
+                syrk_ln(r, c, 1.0, &arr[c..], len, 0.0, &mut ws.upd[..r * r], r);
             }
             trace.push(TraceOp::Syrk { n: r, k: c });
-            let entries = assemble_update(sym, &mut data.sn, s, &upd[..r * r], r);
+            let entries = assemble_update(sym, &mut data.sn, s, &ws.upd[..r * r], r);
             trace.push(TraceOp::Assemble { entries });
         }
     }

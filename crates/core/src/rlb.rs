@@ -28,7 +28,7 @@ use rlchol_symbolic::SymbolicFactor;
 
 use crate::engine::{factor_panel, CpuRun};
 use crate::error::FactorError;
-use crate::storage::FactorData;
+use crate::registry::EngineWorkspace;
 
 /// A maximal run of consecutive row blocks of one source supernode aimed
 /// at a single target supernode, with the target geometry resolved once.
@@ -143,10 +143,19 @@ pub(crate) fn rlb_run_updates(
 
 /// Factors `a` (permuted into factor order) with CPU-only RLB.
 pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, FactorError> {
+    factor_rlb_cpu_ws(sym, a, &mut EngineWorkspace::default())
+}
+
+/// [`factor_rlb_cpu`] drawing factor storage and scratch from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rlb_cpu_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    ws: &mut EngineWorkspace,
+) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let mut trace = Trace::new();
-    let mut l11 = Vec::new();
 
     for s in 0..sym.nsup() {
         let c = sym.sn_ncols(s);
@@ -155,7 +164,7 @@ pub fn factor_rlb_cpu(sym: &SymbolicFactor, a: &SymCsc) -> Result<CpuRun, Factor
         let first = sym.sn.first_col(s);
         {
             let arr = &mut data.sn[s];
-            factor_panel(arr, len, c, r, &mut l11).map_err(|pivot| {
+            factor_panel(arr, len, c, r, &mut ws.l11).map_err(|pivot| {
                 FactorError::NotPositiveDefinite {
                     column: first + pivot,
                 }

@@ -35,8 +35,8 @@ use rlchol_symbolic::SymbolicFactor;
 use crate::assemble::{scatter_segment, segments};
 use crate::engine::{factor_panel, factor_panel_par, CpuRun};
 use crate::error::FactorError;
-use crate::rl::factor_rl_cpu;
-use crate::rlb::{factor_rlb_cpu, rlb_run_updates, rlb_target_runs};
+use crate::registry::EngineWorkspace;
+use crate::rlb::{rlb_run_updates, rlb_target_runs};
 use crate::storage::FactorData;
 
 use super::driver::Frontier;
@@ -62,10 +62,21 @@ pub fn factor_rl_cpu_par(
     a: &SymCsc,
     threads: usize,
 ) -> Result<CpuRun, FactorError> {
+    factor_rl_cpu_par_ws(sym, a, threads, &mut EngineWorkspace::default())
+}
+
+/// [`factor_rl_cpu_par`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rl_cpu_par_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    threads: usize,
+    ws: &mut EngineWorkspace,
+) -> Result<CpuRun, FactorError> {
     if threads <= 1 || sym.nsup() <= 1 {
-        return factor_rl_cpu(sym, a);
+        return crate::rl::factor_rl_cpu_ws(sym, a, ws);
     }
-    run_scheduler(sym, a, threads, Variant::Rl)
+    run_scheduler(sym, a, threads, Variant::Rl, ws)
 }
 
 /// Task-parallel RLB factorization with `threads` lanes. `threads <= 1`
@@ -75,10 +86,21 @@ pub fn factor_rlb_cpu_par(
     a: &SymCsc,
     threads: usize,
 ) -> Result<CpuRun, FactorError> {
+    factor_rlb_cpu_par_ws(sym, a, threads, &mut EngineWorkspace::default())
+}
+
+/// [`factor_rlb_cpu_par`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rlb_cpu_par_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    threads: usize,
+    ws: &mut EngineWorkspace,
+) -> Result<CpuRun, FactorError> {
     if threads <= 1 || sym.nsup() <= 1 {
-        return factor_rlb_cpu(sym, a);
+        return crate::rlb::factor_rlb_cpu_ws(sym, a, ws);
     }
-    run_scheduler(sym, a, threads, Variant::Rlb)
+    run_scheduler(sym, a, threads, Variant::Rlb, ws)
 }
 
 /// Ready queue and termination state, guarded by one mutex.
@@ -171,10 +193,13 @@ fn run_scheduler(
     a: &SymCsc,
     threads: usize,
     variant: Variant,
+    ws: &mut EngineWorkspace,
 ) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
     let nsup = sym.nsup();
-    let data = FactorData::load(sym, a);
+    // The recycled per-supernode buffers move into the mutexes and back
+    // out at the end — reused, never reallocated.
+    let data = ws.take_factor(sym, a);
 
     let frontier = Frontier::new(sym);
     let mut ready: std::collections::VecDeque<usize> = frontier.initial_ready().into();
@@ -467,6 +492,8 @@ fn apply_updates_rlb(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rl::factor_rl_cpu;
+    use crate::rlb::factor_rlb_cpu;
     use rlchol_matgen::{grid3d, laplace2d, Stencil};
     use rlchol_symbolic::{analyze, SymbolicOptions};
 

@@ -54,6 +54,7 @@ use crate::engine::{factor_panel, GpuOptions, GpuRun};
 use crate::error::FactorError;
 use crate::gpu_rl::{map_device_pivot, offload_set};
 use crate::gpu_rlb::{apply_strips_pool, cpu_direct_update, launch_strip_kernel, strips_of, Strip};
+use crate::registry::EngineWorkspace;
 use crate::storage::FactorData;
 
 use super::driver::{distinct_targets, Frontier};
@@ -76,7 +77,24 @@ pub fn factor_rl_gpu_pipe(
     a: &SymCsc,
     opts: &GpuOptions,
 ) -> Result<GpuRun, FactorError> {
-    run_pipeline(sym, a, opts, PipeVariant::Rl)
+    run_pipeline(
+        sym,
+        a,
+        opts,
+        PipeVariant::Rl,
+        &mut EngineWorkspace::default(),
+    )
+}
+
+/// [`factor_rl_gpu_pipe`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rl_gpu_pipe_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+    ws: &mut EngineWorkspace,
+) -> Result<GpuRun, FactorError> {
+    run_pipeline(sym, a, opts, PipeVariant::Rl, ws)
 }
 
 /// Pipelined multi-stream GPU-RLB
@@ -86,7 +104,24 @@ pub fn factor_rlb_gpu_pipe(
     a: &SymCsc,
     opts: &GpuOptions,
 ) -> Result<GpuRun, FactorError> {
-    run_pipeline(sym, a, opts, PipeVariant::Rlb)
+    run_pipeline(
+        sym,
+        a,
+        opts,
+        PipeVariant::Rlb,
+        &mut EngineWorkspace::default(),
+    )
+}
+
+/// [`factor_rlb_gpu_pipe`] drawing factor storage from `ws` — the
+/// refactorization path (reuses recycled storage, no reallocation).
+pub fn factor_rlb_gpu_pipe_ws(
+    sym: &SymbolicFactor,
+    a: &SymCsc,
+    opts: &GpuOptions,
+    ws: &mut EngineWorkspace,
+) -> Result<GpuRun, FactorError> {
+    run_pipeline(sym, a, opts, PipeVariant::Rlb, ws)
 }
 
 /// One compute/copy stream pair with its device working storage.
@@ -118,9 +153,10 @@ fn run_pipeline(
     a: &SymCsc,
     opts: &GpuOptions,
     variant: PipeVariant,
+    ws: &mut EngineWorkspace,
 ) -> Result<GpuRun, FactorError> {
     let t0 = Instant::now();
-    let mut data = FactorData::load(sym, a);
+    let mut data = ws.take_factor(sym, a);
     let gpu = Gpu::new(opts.machine.gpu);
     gpu.set_blocking(!opts.overlap);
     let cpu = opts.machine.cpu;

@@ -97,12 +97,37 @@ pub fn solve_forward_multi(sym: &SymbolicFactor, f: &FactorData, b: &mut [f64], 
     }
 }
 
-/// Backward substitution for `nrhs` column-major right-hand sides.
+/// Backward substitution for `nrhs` column-major right-hand sides,
+/// blocked like the forward sweep: one pass over the supernodes
+/// (outer), all right-hand sides inside (inner), so each supernode's
+/// panel is read once per sweep instead of once per RHS. Per-column
+/// arithmetic order is identical to [`solve_backward`], so results are
+/// bit-identical to solving each RHS alone.
 pub fn solve_backward_multi(sym: &SymbolicFactor, f: &FactorData, b: &mut [f64], nrhs: usize) {
     let n = sym.n;
     assert_eq!(b.len(), n * nrhs);
-    for rhs in 0..nrhs {
-        solve_backward(sym, f, &mut b[rhs * n..(rhs + 1) * n]);
+    for s in (0..sym.nsup()).rev() {
+        let first = sym.sn.first_col(s);
+        let c = sym.sn_ncols(s);
+        let len = sym.sn_len(s);
+        let arr = &f.sn[s];
+        let rows = &sym.rows[s];
+        for rhs in 0..nrhs {
+            let col = &mut b[rhs * n..(rhs + 1) * n];
+            for lc in (0..c).rev() {
+                let lcol = &arr[lc * len..(lc + 1) * len];
+                let mut acc = col[first + lc];
+                for li in lc + 1..c {
+                    acc -= lcol[li] * col[first + li];
+                }
+                for (pos, &v) in lcol[c..].iter().enumerate() {
+                    if v != 0.0 {
+                        acc -= v * col[rows[pos]];
+                    }
+                }
+                col[first + lc] = acc / lcol[lc];
+            }
+        }
     }
 }
 

@@ -1,25 +1,28 @@
 //! End-to-end solver pipeline: ordering → symbolic → numeric → solve.
 //!
-//! [`CholeskySolver`] is the public entry point a downstream user calls:
-//! it owns the composed permutation (fill-reducing order, postorder,
-//! merge reordering, partition refinement), the symbolic factor and the
-//! numeric factor, and exposes permutation-transparent solves with
-//! optional iterative refinement.
+//! [`CholeskySolver`] is the one-shot convenience entry point: it runs
+//! [`CholeskySolver::analyze`] (ordering, symbolic analysis, engine
+//! resolution — producing a [`SymbolicCholesky`] handle) and
+//! [`SymbolicCholesky::factor_with`] in one call, and keeps a reusable
+//! [`SolveWorkspace`] so its permutation-transparent solves allocate
+//! only their output vectors. Workloads that re-factor a fixed pattern
+//! with new values should hold the [`SymbolicCholesky`] handle directly
+//! and use `factor_with`/`refactor`/`solve_into` — see
+//! [`crate::staged`].
 
-use rlchol_ordering::{order, OrderingMethod};
+use rlchol_ordering::OrderingMethod;
 use rlchol_sparse::{Permutation, SymCsc};
-use rlchol_symbolic::{analyze, SymbolicFactor, SymbolicOptions};
+use rlchol_symbolic::{SymbolicFactor, SymbolicOptions};
 
-use crate::engine::{GpuOptions, GpuRun, Method};
+use std::sync::Mutex;
+
+use crate::engine::{GpuOptions, Method};
 use crate::error::FactorError;
-use crate::gpu_rl::factor_rl_gpu;
-use crate::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
-use crate::rl::factor_rl_cpu;
-use crate::rlb::factor_rlb_cpu;
-use crate::solve;
+use crate::registry::FactorInfo;
+use crate::staged::{Factorization, SolveWorkspace, SymbolicCholesky};
 use crate::storage::FactorData;
 
-/// Options for [`CholeskySolver::factor`].
+/// Options for [`CholeskySolver::factor`] / [`CholeskySolver::analyze`].
 #[derive(Debug, Clone, Copy)]
 pub struct SolverOptions {
     /// Fill-reducing ordering (paper: METIS nested dissection).
@@ -48,23 +51,14 @@ impl Default for SolverOptions {
     }
 }
 
-impl SolverOptions {
-    /// Resolved lane count for the task-parallel engines.
-    fn lanes(&self) -> usize {
-        if self.threads == 0 {
-            rlchol_dense::pool::default_threads()
-        } else {
-            self.threads
-        }
-    }
-}
-
 /// A factored SPD system ready for repeated solves.
+///
+/// Thin wrapper over the staged path: holds the [`SymbolicCholesky`]
+/// handle, one [`Factorization`], and a reusable [`SolveWorkspace`].
 pub struct CholeskySolver {
-    sym: SymbolicFactor,
-    /// Original ordering → factor ordering.
-    total_perm: Permutation,
-    factor: FactorData,
+    staged: SymbolicCholesky,
+    fact: Factorization,
+    solve_ws: Mutex<SolveWorkspace>,
     /// Simulated seconds of the factorization (GPU engines only).
     pub sim_seconds: Option<f64>,
     /// Supernodes computed on the (simulated) GPU.
@@ -72,118 +66,92 @@ pub struct CholeskySolver {
 }
 
 impl CholeskySolver {
-    /// Orders, analyzes and factors `a`.
+    /// Orders and analyzes `a`, returning the staged handle for
+    /// analyze-once / factor-many workloads. Runs no numeric
+    /// factorization.
+    pub fn analyze(a: &SymCsc, opts: &SolverOptions) -> SymbolicCholesky {
+        SymbolicCholesky::new(a, opts)
+    }
+
+    /// Orders, analyzes and factors `a` in one shot.
     pub fn factor(a: &SymCsc, opts: &SolverOptions) -> Result<Self, FactorError> {
-        let fill = order(a, opts.ordering);
-        let a_fill = a.permute(&fill);
-        let sym = analyze(&a_fill, &opts.symbolic);
-        let total_perm = sym.perm.compose(&fill);
-        let a_fact = a_fill.permute(&sym.perm);
-        let (factor, sim_seconds, sn_on_gpu) = match opts.method {
-            Method::RlCpu => {
-                let run = factor_rl_cpu(&sym, &a_fact)?;
-                (run.factor, None, 0)
-            }
-            Method::RlbCpu => {
-                let run = factor_rlb_cpu(&sym, &a_fact)?;
-                (run.factor, None, 0)
-            }
-            Method::RlCpuPar => {
-                let run = crate::sched::factor_rl_cpu_par(&sym, &a_fact, opts.lanes())?;
-                (run.factor, None, 0)
-            }
-            Method::RlbCpuPar => {
-                let run = crate::sched::factor_rlb_cpu_par(&sym, &a_fact, opts.lanes())?;
-                (run.factor, None, 0)
-            }
-            Method::LlCpu => {
-                let run = crate::ll::factor_ll_cpu(&sym, &a_fact)?;
-                (run.factor, None, 0)
-            }
-            Method::MfCpu => {
-                let run = crate::multifrontal::factor_multifrontal_cpu(&sym, &a_fact)?;
-                (run.run.factor, None, 0)
-            }
-            Method::RlGpu => {
-                let run: GpuRun = factor_rl_gpu(&sym, &a_fact, &opts.gpu)?;
-                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
-            }
-            Method::RlbGpuV1 => {
-                let run = factor_rlb_gpu(&sym, &a_fact, &opts.gpu, RlbGpuVersion::V1)?;
-                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
-            }
-            Method::RlbGpuV2 => {
-                let run = factor_rlb_gpu(&sym, &a_fact, &opts.gpu, RlbGpuVersion::V2)?;
-                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
-            }
-            Method::RlGpuPipe => {
-                let run = crate::sched::factor_rl_gpu_pipe(&sym, &a_fact, &opts.gpu)?;
-                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
-            }
-            Method::RlbGpuPipe => {
-                let run = crate::sched::factor_rlb_gpu_pipe(&sym, &a_fact, &opts.gpu)?;
-                (run.factor, Some(run.sim_seconds), run.sn_on_gpu)
-            }
-        };
+        let staged = Self::analyze(a, opts);
+        let fact = staged.factor_with(a)?;
         Ok(CholeskySolver {
-            sym,
-            total_perm,
-            factor,
-            sim_seconds,
-            sn_on_gpu,
+            sim_seconds: fact.info().sim_seconds,
+            sn_on_gpu: fact.info().sn_on_gpu,
+            staged,
+            fact,
+            solve_ws: Mutex::new(SolveWorkspace::new()),
         })
+    }
+
+    /// The staged handle (permutation, symbolic factor, engine).
+    pub fn staged(&self) -> &SymbolicCholesky {
+        &self.staged
+    }
+
+    /// The held factorization.
+    pub fn factorization(&self) -> &Factorization {
+        &self.fact
+    }
+
+    /// The engine's uniform report for this factorization.
+    pub fn info(&self) -> &FactorInfo {
+        self.fact.info()
     }
 
     /// The symbolic factor (structure, counts, supernodes).
     pub fn symbolic(&self) -> &SymbolicFactor {
-        &self.sym
+        self.staged.symbolic()
     }
 
     /// The numeric factor values.
     pub fn factor_data(&self) -> &FactorData {
-        &self.factor
+        self.fact.data()
     }
 
     /// The composed permutation from the input ordering to factor order.
     pub fn permutation(&self) -> &Permutation {
-        &self.total_perm
+        self.staged.permutation()
     }
 
     /// Factor nonzeros (including amalgamation padding).
     pub fn factor_nnz(&self) -> u64 {
-        self.sym.nnz
+        self.staged.factor_nnz()
     }
 
-    /// Solves `A x = b` with `b` in the original ordering.
+    /// Solves `A x = b` with `b` in the original ordering. Internal
+    /// scratch comes from the solver's reusable workspace; only the
+    /// returned vector is allocated.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let bp = self.total_perm.apply_vec(b);
-        let xp = solve::solve(&self.sym, &self.factor, &bp);
-        self.total_perm.apply_inv_vec(&xp)
+        let mut x = vec![0.0; b.len()];
+        match self.solve_ws.try_lock() {
+            Ok(mut ws) => self.staged.solve_into(&self.fact, b, &mut x, &mut ws),
+            // Contended (or poisoned) workspace: solve with a local one
+            // — the cost of the old allocating path, no serialization.
+            Err(_) => {
+                let mut ws = SolveWorkspace::new();
+                self.staged.solve_into(&self.fact, b, &mut x, &mut ws)
+            }
+        }
+        x
     }
 
     /// Solves with iterative refinement; returns `(x, final_residual_inf)`.
     pub fn solve_refined(&self, a: &SymCsc, b: &[f64], max_iters: usize) -> (Vec<f64>, f64) {
-        let n = b.len();
-        let mut x = self.solve(b);
-        let mut resid = vec![0.0; n];
-        let mut last = f64::INFINITY;
-        for _ in 0..max_iters {
-            a.matvec(&x, &mut resid);
-            for i in 0..n {
-                resid[i] = b[i] - resid[i];
+        let mut x = vec![0.0; b.len()];
+        let resid = match self.solve_ws.try_lock() {
+            Ok(mut ws) => self
+                .staged
+                .solve_refined(&self.fact, a, b, &mut x, max_iters, &mut ws),
+            Err(_) => {
+                let mut ws = SolveWorkspace::new();
+                self.staged
+                    .solve_refined(&self.fact, a, b, &mut x, max_iters, &mut ws)
             }
-            let norm = resid.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-            if norm >= last || norm == 0.0 {
-                last = norm.min(last);
-                break;
-            }
-            last = norm;
-            let dx = self.solve(&resid);
-            for i in 0..n {
-                x[i] += dx[i];
-            }
-        }
-        (x, last)
+        };
+        (x, resid)
     }
 }
 
@@ -214,18 +182,14 @@ mod tests {
 
     #[test]
     fn all_methods_solve_correctly() {
-        check_pipeline(Method::RlCpu, GpuOptions::with_threshold(usize::MAX));
-        check_pipeline(Method::RlbCpu, GpuOptions::with_threshold(usize::MAX));
-        check_pipeline(Method::LlCpu, GpuOptions::with_threshold(usize::MAX));
-        check_pipeline(Method::MfCpu, GpuOptions::with_threshold(usize::MAX));
-        check_pipeline(Method::RlGpu, GpuOptions::with_threshold(200));
-        check_pipeline(Method::RlbGpuV1, GpuOptions::with_threshold(200));
-        check_pipeline(Method::RlbGpuV2, GpuOptions::with_threshold(200));
-        // The pipelined engines resolve streams from RLCHOL_STREAMS here
-        // (streams: 0), so the CI matrix exercises both degenerate and
-        // multi-stream configurations through this test.
-        check_pipeline(Method::RlGpuPipe, GpuOptions::with_threshold(200));
-        check_pipeline(Method::RlbGpuPipe, GpuOptions::with_threshold(200));
+        for method in Method::ALL {
+            let threshold = if method.is_gpu() { 200 } else { usize::MAX };
+            // The pipelined engines resolve streams from RLCHOL_STREAMS
+            // here (streams: 0), so the CI matrix exercises both
+            // degenerate and multi-stream configurations through this
+            // test.
+            check_pipeline(method, GpuOptions::with_threshold(threshold));
+        }
     }
 
     #[test]
@@ -270,5 +234,18 @@ mod tests {
         let s = CholeskySolver::factor(&a, &opts).unwrap();
         assert!(s.sim_seconds.unwrap() > 0.0);
         assert_eq!(s.sn_on_gpu, s.symbolic().nsup());
+        // The uniform report carries the same numbers plus device stats.
+        assert_eq!(s.info().sim_seconds, s.sim_seconds);
+        assert!(s.info().gpu.as_ref().unwrap().kernel_launches > 0);
+    }
+
+    #[test]
+    fn analyze_then_factor_matches_one_shot() {
+        let a = laplace2d(11, 4);
+        let opts = SolverOptions::default();
+        let handle = CholeskySolver::analyze(&a, &opts);
+        let fact = handle.factor_with(&a).unwrap();
+        let one_shot = CholeskySolver::factor(&a, &opts).unwrap();
+        assert_eq!(fact.data(), one_shot.factor_data());
     }
 }

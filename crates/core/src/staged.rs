@@ -1,0 +1,547 @@
+//! The staged solver API: analyze **once**, factor **many**, solve
+//! **many**.
+//!
+//! Workloads that re-factor a fixed sparsity pattern with new values —
+//! interior-point iterations, time stepping, parameter sweeps — pay the
+//! ordering + symbolic-analysis cost only once:
+//!
+//! ```text
+//! let handle = CholeskySolver::analyze(&a, &opts);   // order + analyze
+//! let mut fact = handle.factor_with(&a)?;            // numeric factor
+//! loop {
+//!     a.values_mut()...;                             // same pattern, new values
+//!     handle.refactor(&mut fact, &a)?;               // reuses factor storage
+//!     handle.solve_into(&fact, &b, &mut x, &mut ws); // zero allocation
+//! }
+//! ```
+//!
+//! * [`SymbolicCholesky`] owns the composed permutation, the symbolic
+//!   factor, and the engine-resolved resources
+//!   ([`EngineWorkspace`](crate::registry::EngineWorkspace): pool lanes,
+//!   GPU stream pairs, recycled factor storage, per-engine scratch).
+//! * [`SymbolicCholesky::factor_with`] /
+//!   [`SymbolicCholesky::refactor`] accept any matrix with the analyzed
+//!   pattern (a different pattern is the typed
+//!   [`FactorError::PatternMismatch`]); `refactor` reuses the
+//!   [`Factorization`]'s storage — no re-ordering, no re-analysis, no
+//!   factor reallocation — and produces values bit-identical to a fresh
+//!   one-shot factorization with the same engine.
+//! * [`SymbolicCholesky::solve_into`] / [`solve_many`] /
+//!   [`solve_refined`](SymbolicCholesky::solve_refined) run in caller
+//!   buffers over a reusable [`SolveWorkspace`]: zero heap allocations
+//!   per call once the workspace is warm.
+
+use std::sync::Mutex;
+
+use rlchol_ordering::order;
+use rlchol_sparse::{Permutation, SymCsc};
+use rlchol_symbolic::{analyze, SymbolicFactor};
+
+use crate::engine::Method;
+use crate::error::FactorError;
+use crate::registry::{engine_for, EngineWorkspace, FactorInfo, NumericEngine};
+use crate::solve;
+use crate::solver::SolverOptions;
+use crate::storage::FactorData;
+
+/// A numeric factor produced by [`SymbolicCholesky::factor_with`] and
+/// refreshed in place by [`SymbolicCholesky::refactor`].
+#[derive(Debug)]
+pub struct Factorization {
+    data: FactorData,
+    info: FactorInfo,
+    /// Cleared when a failed `refactor` consumes the storage; an
+    /// explicit flag (rather than inspecting `data`) so a legitimately
+    /// factored degenerate system stays valid.
+    valid: bool,
+}
+
+impl Factorization {
+    /// The numeric factor values.
+    pub fn data(&self) -> &FactorData {
+        &self.data
+    }
+
+    /// The engine's uniform report for the most recent (re)factorization.
+    pub fn info(&self) -> &FactorInfo {
+        &self.info
+    }
+
+    /// False after a numerically failed [`SymbolicCholesky::refactor`]
+    /// consumed this factorization's storage: the handle stays usable
+    /// (the next successful `refactor` revalidates it), but solving
+    /// against an invalidated factorization is a caller bug and panics
+    /// with this message. Callers that need the *previous* factor as a
+    /// fallback after a failed update should `factor_with` into a
+    /// separate [`Factorization`] instead of refactoring in place.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+}
+
+/// Reusable scratch for the permutation-transparent solves. One
+/// workspace serves any number of sequential solves against any
+/// [`Factorization`] of the same handle; buffers grow to the largest
+/// request seen and are never shrunk, so steady-state calls allocate
+/// nothing.
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// Permuted right-hand side / solution block (`n × k` capacity).
+    perm: Vec<f64>,
+    /// Residual in original ordering (iterative refinement).
+    resid: Vec<f64>,
+    /// Correction in original ordering (iterative refinement).
+    corr: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// Pre-grows the buffers for `n`-sized systems with up to `k`
+    /// simultaneous right-hand sides, so even the first solve allocates
+    /// nothing.
+    pub fn warm(n: usize, k: usize) -> Self {
+        SolveWorkspace {
+            perm: vec![0.0; n * k.max(1)],
+            resid: vec![0.0; n],
+            corr: vec![0.0; n],
+        }
+    }
+}
+
+/// Grows `buf` to at least `len` entries (never shrinks).
+fn ensure_len(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// The analyzed half of the pipeline: composed permutation, symbolic
+/// factor, resolved numeric engine, and the resources reused across
+/// repeated factorizations. Produced by [`CholeskySolver::analyze`]
+/// (`CholeskySolver` in [`crate::solver`]).
+pub struct SymbolicCholesky {
+    sym: SymbolicFactor,
+    /// Original ordering → factor ordering.
+    total_perm: Permutation,
+    method: Method,
+    engine: &'static dyn NumericEngine,
+    /// The analyzed pattern (lower triangle of the *input* matrix), kept
+    /// to reject same-handle calls with a different pattern.
+    pattern_colptr: Vec<usize>,
+    pattern_rowind: Vec<usize>,
+    /// `a_fact.values[k] = a.values[value_map[k]]` — the precomputed
+    /// scatter that moves input values into factor order without
+    /// re-permuting the structure.
+    value_map: Vec<usize>,
+    /// Engine resources plus the factor-ordered matrix template, behind
+    /// one lock so `factor_with(&self, ..)` works from shared borrows.
+    inner: Mutex<StagedInner>,
+}
+
+struct StagedInner {
+    ws: EngineWorkspace,
+    /// Structure of `P A Pᵀ` in factor order; values are overwritten
+    /// through `value_map` on every (re)factorization.
+    a_fact: SymCsc,
+}
+
+impl SymbolicCholesky {
+    /// Orders and analyzes the pattern of `a`, resolving the engine and
+    /// its resources from `opts`. Runs no numeric factorization.
+    ///
+    /// Resource precedence: explicit [`SolverOptions::threads`] /
+    /// [`GpuOptions::streams`](crate::engine::GpuOptions::streams) win;
+    /// a `0` in either defers to the `RLCHOL_THREADS` /
+    /// `RLCHOL_STREAMS` environment variables (read at use), which in
+    /// turn default to the machine's parallelism / the runtime default.
+    pub fn new(a: &SymCsc, opts: &SolverOptions) -> Self {
+        let fill = order(a, opts.ordering);
+        let a_fill = a.permute(&fill);
+        let sym = analyze(&a_fill, &opts.symbolic);
+        let total_perm = sym.perm.compose(&fill);
+        let a_fact = a_fill.permute(&sym.perm);
+
+        // Precompute where each input value lands in factor order. Entry
+        // (i, j) of the input lower triangle becomes (pi, pj) sorted so
+        // the larger index is the row — exactly what `permute` does.
+        let mut value_map = vec![0usize; a.nnz_lower()];
+        let colptr = a.colptr();
+        for j in 0..a.n() {
+            let pj = total_perm.new_of(j);
+            for (off, &i) in a.col_rows(j).iter().enumerate() {
+                let pi = total_perm.new_of(i);
+                let (r, c) = if pi >= pj { (pi, pj) } else { (pj, pi) };
+                let pos = a_fact
+                    .col_rows(c)
+                    .binary_search(&r)
+                    .expect("permuted entry exists in permuted pattern");
+                value_map[a_fact.colptr()[c] + pos] = colptr[j] + off;
+            }
+        }
+
+        let engine = engine_for(opts.method);
+        let ws = EngineWorkspace::new(opts.threads, opts.gpu);
+        SymbolicCholesky {
+            sym,
+            total_perm,
+            method: opts.method,
+            engine,
+            pattern_colptr: a.colptr().to_vec(),
+            pattern_rowind: a.rowind().to_vec(),
+            value_map,
+            inner: Mutex::new(StagedInner { ws, a_fact }),
+        }
+    }
+
+    /// The symbolic factor (structure, counts, supernodes).
+    pub fn symbolic(&self) -> &SymbolicFactor {
+        &self.sym
+    }
+
+    /// The composed permutation from the input ordering to factor order.
+    pub fn permutation(&self) -> &Permutation {
+        &self.total_perm
+    }
+
+    /// The numeric engine this handle dispatches to.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.sym.n
+    }
+
+    /// Factor nonzeros (including amalgamation padding).
+    pub fn factor_nnz(&self) -> u64 {
+        self.sym.nnz
+    }
+
+    /// Checks that `a` has exactly the analyzed sparsity pattern.
+    fn check_pattern(&self, a: &SymCsc) -> Result<(), FactorError> {
+        let expected_nnz = self.pattern_rowind.len();
+        let mismatch = |column: usize| FactorError::PatternMismatch {
+            column,
+            expected_nnz,
+            found_nnz: a.nnz_lower(),
+        };
+        let n = self.pattern_colptr.len() - 1;
+        if a.n() != n {
+            return Err(mismatch(a.n().min(n)));
+        }
+        if a.colptr() != self.pattern_colptr.as_slice()
+            || a.rowind() != self.pattern_rowind.as_slice()
+        {
+            // Locate the first differing column for the error report.
+            for j in 0..n {
+                let lo = self.pattern_colptr[j];
+                let hi = self.pattern_colptr[j + 1];
+                if a.colptr()[j] != lo
+                    || a.colptr()[j + 1] != hi
+                    || a.col_rows(j) != &self.pattern_rowind[lo..hi]
+                {
+                    return Err(mismatch(j));
+                }
+            }
+            return Err(mismatch(n));
+        }
+        Ok(())
+    }
+
+    /// Factors `a` — any matrix with the analyzed pattern — reusing the
+    /// symbolic structure. Returns a new [`Factorization`]; to reuse an
+    /// existing one's storage, call [`refactor`](Self::refactor).
+    pub fn factor_with(&self, a: &SymCsc) -> Result<Factorization, FactorError> {
+        self.check_pattern(a)?;
+        let mut inner = self.inner.lock().unwrap();
+        self.run_engine(&mut inner, a)
+    }
+
+    /// Re-factors into `fact`, reusing both the symbolic structure and
+    /// the factorization's storage: no re-ordering, no re-analysis, no
+    /// factor reallocation. On [`FactorError::PatternMismatch`] the old
+    /// factor is left untouched; on a numeric error (e.g.
+    /// [`FactorError::NotPositiveDefinite`]) the storage was already
+    /// consumed by the failed attempt, so `fact` is **invalidated**
+    /// ([`Factorization::is_valid`] turns false and its stale `info` is
+    /// cleared) until the next successful `refactor` — callers that
+    /// need the previous factor as a fallback should `factor_with` into
+    /// a separate [`Factorization`] instead.
+    pub fn refactor(&self, fact: &mut Factorization, a: &SymCsc) -> Result<(), FactorError> {
+        self.check_pattern(a)?;
+        let mut inner = self.inner.lock().unwrap();
+        inner.ws.recycle(std::mem::take(&mut fact.data));
+        match self.run_engine(&mut inner, a) {
+            Ok(fresh) => {
+                *fact = fresh;
+                Ok(())
+            }
+            Err(e) => {
+                // Don't let stale data or a stale report masquerade as
+                // the (failed) current state.
+                fact.info = FactorInfo::default();
+                fact.valid = false;
+                Err(e)
+            }
+        }
+    }
+
+    fn run_engine(
+        &self,
+        inner: &mut StagedInner,
+        a: &SymCsc,
+    ) -> Result<Factorization, FactorError> {
+        let StagedInner { ws, a_fact } = inner;
+        let src = a.values();
+        for (dst, &from) in a_fact.values_mut().iter_mut().zip(&self.value_map) {
+            *dst = src[from];
+        }
+        let run = self.engine.factor(&self.sym, a_fact, ws)?;
+        Ok(Factorization {
+            data: run.factor,
+            info: run.info,
+            valid: true,
+        })
+    }
+
+    /// Solves `A x = b` (original ordering) into the caller's `x`,
+    /// drawing scratch from `ws` — zero heap allocations once `ws` is
+    /// warm.
+    pub fn solve_into(
+        &self,
+        fact: &Factorization,
+        b: &[f64],
+        x: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) {
+        self.solve_perm(fact, b, x, &mut ws.perm);
+    }
+
+    /// Inner single-RHS solve against an explicit permutation scratch
+    /// (lets refinement use the other workspace fields simultaneously).
+    fn solve_perm(&self, fact: &Factorization, b: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        assert!(
+            fact.is_valid(),
+            "factorization was invalidated by a failed refactor; \
+             refactor successfully before solving"
+        );
+        let n = self.sym.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        ensure_len(scratch, n);
+        let bp = &mut scratch[..n];
+        self.total_perm.apply_into(b, bp);
+        solve::solve_forward(&self.sym, &fact.data, bp);
+        solve::solve_backward(&self.sym, &fact.data, bp);
+        self.total_perm.apply_inv_into(bp, x);
+    }
+
+    /// Solves `A X = B` for `k` right-hand sides stored column-major in
+    /// `b` (an `n × k` block, leading dimension `n`), writing the
+    /// solutions into `x` with the same layout. The forward/backward
+    /// sweeps are blocked over the supernodes (each panel is read once
+    /// per sweep, not once per RHS); zero heap allocations once `ws` is
+    /// warm.
+    pub fn solve_many(
+        &self,
+        fact: &Factorization,
+        b: &[f64],
+        x: &mut [f64],
+        k: usize,
+        ws: &mut SolveWorkspace,
+    ) {
+        assert!(
+            fact.is_valid(),
+            "factorization was invalidated by a failed refactor; \
+             refactor successfully before solving"
+        );
+        let n = self.sym.n;
+        assert_eq!(b.len(), n * k);
+        assert_eq!(x.len(), n * k);
+        ensure_len(&mut ws.perm, n * k);
+        let bp = &mut ws.perm[..n * k];
+        for rhs in 0..k {
+            self.total_perm
+                .apply_into(&b[rhs * n..(rhs + 1) * n], &mut bp[rhs * n..(rhs + 1) * n]);
+        }
+        solve::solve_forward_multi(&self.sym, &fact.data, bp, k);
+        solve::solve_backward_multi(&self.sym, &fact.data, bp, k);
+        for rhs in 0..k {
+            self.total_perm
+                .apply_inv_into(&bp[rhs * n..(rhs + 1) * n], &mut x[rhs * n..(rhs + 1) * n]);
+        }
+    }
+
+    /// Solves with iterative refinement on the in-place path, writing
+    /// the solution into `x`; returns the final `‖b − A x‖∞`. Stops
+    /// early when the residual stops improving (keeping the best
+    /// iterate) or hits exactly zero. Zero heap allocations once `ws`
+    /// is warm.
+    pub fn solve_refined(
+        &self,
+        fact: &Factorization,
+        a: &SymCsc,
+        b: &[f64],
+        x: &mut [f64],
+        max_iters: usize,
+        ws: &mut SolveWorkspace,
+    ) -> f64 {
+        let n = b.len();
+        let SolveWorkspace { perm, resid, corr } = ws;
+        ensure_len(resid, n);
+        ensure_len(corr, n);
+        let resid = &mut resid[..n];
+        let corr = &mut corr[..n];
+        self.solve_perm(fact, b, x, perm);
+        let mut last = f64::INFINITY;
+        for _ in 0..max_iters {
+            a.matvec(x, resid);
+            for i in 0..n {
+                resid[i] = b[i] - resid[i];
+            }
+            let norm = resid.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            if norm >= last || norm == 0.0 {
+                last = norm.min(last);
+                break;
+            }
+            last = norm;
+            self.solve_perm(fact, resid, corr, perm);
+            for i in 0..n {
+                x[i] += corr[i];
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::CholeskySolver;
+    use rlchol_matgen::{grid3d, laplace2d, Stencil};
+
+    fn staged_default(a: &SymCsc) -> (SymbolicCholesky, Factorization) {
+        let sc = SymbolicCholesky::new(a, &SolverOptions::default());
+        let fact = sc.factor_with(a).unwrap();
+        (sc, fact)
+    }
+
+    #[test]
+    fn factor_with_matches_one_shot() {
+        let a = grid3d(5, 4, 3, Stencil::Star7, 1, 9);
+        let (sc, fact) = staged_default(&a);
+        let one_shot = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+        assert_eq!(fact.data(), one_shot.factor_data());
+        assert_eq!(sc.factor_nnz(), one_shot.factor_nnz());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_bit_identically() {
+        let a1 = laplace2d(9, 21);
+        let a2 = laplace2d(9, 22); // same pattern, different values
+        let (sc, mut fact) = staged_default(&a1);
+        let ptr = fact.data().sn[0].as_ptr();
+        sc.refactor(&mut fact, &a2).unwrap();
+        assert_eq!(
+            fact.data().sn[0].as_ptr(),
+            ptr,
+            "refactor must reuse the factor storage"
+        );
+        let fresh = CholeskySolver::factor(&a2, &SolverOptions::default()).unwrap();
+        assert_eq!(fact.data(), fresh.factor_data());
+    }
+
+    #[test]
+    fn pattern_mismatch_is_typed_and_leaves_factor_intact() {
+        let a = laplace2d(8, 3);
+        let other = laplace2d(9, 3);
+        let (sc, mut fact) = staged_default(&a);
+        let before = fact.data().clone();
+        match sc.factor_with(&other) {
+            Err(FactorError::PatternMismatch { .. }) => {}
+            r => panic!("expected PatternMismatch, got {r:?}"),
+        }
+        match sc.refactor(&mut fact, &other) {
+            Err(FactorError::PatternMismatch { .. }) => {}
+            r => panic!("expected PatternMismatch, got {r:?}"),
+        }
+        assert_eq!(fact.data(), &before);
+        // Same nnz but shifted pattern must also be rejected.
+        let mut t = rlchol_sparse::TripletMatrix::new(a.n(), a.n());
+        for j in 0..a.n() {
+            t.push(j, j, 4.0);
+        }
+        let diag = SymCsc::from_lower_triplets(&t).unwrap();
+        assert!(matches!(
+            sc.factor_with(&diag),
+            Err(FactorError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_and_many_match_allocating_path() {
+        let a = grid3d(4, 4, 4, Stencil::Star7, 1, 5);
+        let n = a.n();
+        let (sc, fact) = staged_default(&a);
+        let solver = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let k = 3;
+        let b: Vec<f64> = (0..n * k).map(|i| ((i * 13) % 31) as f64 - 15.0).collect();
+        let mut x = vec![0.0; n];
+        let mut xs = vec![0.0; n * k];
+        sc.solve_many(&fact, &b, &mut xs, k, &mut ws);
+        for rhs in 0..k {
+            let col = &b[rhs * n..(rhs + 1) * n];
+            sc.solve_into(&fact, col, &mut x, &mut ws);
+            let reference = solver.solve(col);
+            for i in 0..n {
+                assert_eq!(x[i], reference[i], "solve_into rhs {rhs} entry {i}");
+                assert_eq!(
+                    xs[rhs * n + i],
+                    reference[i],
+                    "solve_many rhs {rhs} entry {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_refined_reduces_residual_in_place() {
+        let a = laplace2d(12, 6);
+        let n = a.n();
+        let (sc, fact) = staged_default(&a);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let mut x = vec![0.0; n];
+        let mut ws = SolveWorkspace::warm(n, 1);
+        let resid = sc.solve_refined(&fact, &a, &b, &mut x, 3, &mut ws);
+        assert!(resid < 1e-9, "refined residual {resid}");
+    }
+
+    #[test]
+    fn non_pd_refactor_reports_error_and_handle_recovers() {
+        let a = laplace2d(7, 2);
+        let (sc, mut fact) = staged_default(&a);
+        // Same pattern, indefinite values: negate a diagonal entry.
+        let mut bad = a.clone();
+        let dpos = bad.colptr()[3];
+        bad.values_mut()[dpos] = -50.0;
+        assert!(matches!(
+            sc.refactor(&mut fact, &bad),
+            Err(FactorError::NotPositiveDefinite { .. })
+        ));
+        // The failed refactor consumed the storage: the factorization is
+        // invalidated (no stale data/info), not silently half-written.
+        assert!(!fact.is_valid());
+        assert!(fact.info().trace.is_none());
+        // The handle stays usable: a good refactor matches one-shot.
+        sc.refactor(&mut fact, &a).unwrap();
+        assert!(fact.is_valid());
+        let fresh = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+        assert_eq!(fact.data(), fresh.factor_data());
+    }
+}

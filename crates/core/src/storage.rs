@@ -12,7 +12,7 @@ use rlchol_symbolic::SymbolicFactor;
 
 /// The numeric values of a supernodal factor (structure lives in
 /// [`SymbolicFactor`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FactorData {
     /// One dense column-major array per supernode; leading dimension is
     /// the supernode length.
@@ -31,8 +31,28 @@ impl FactorData {
     /// Loads the values of `a` (already permuted into factor order) into
     /// supernodal storage; entries outside `A`'s pattern stay zero.
     pub fn load(sym: &SymbolicFactor, a: &SymCsc) -> Self {
-        assert_eq!(a.n(), sym.n);
         let mut f = FactorData::zeros(sym);
+        f.reload(sym, a);
+        f
+    }
+
+    /// True when this factor's per-supernode arrays match `sym`'s shapes
+    /// — the precondition for [`reload`](Self::reload).
+    pub fn shape_matches(&self, sym: &SymbolicFactor) -> bool {
+        self.sn.len() == sym.nsup()
+            && (0..sym.nsup()).all(|s| self.sn[s].len() == sym.sn_len(s) * sym.sn_ncols(s))
+    }
+
+    /// Reloads the values of `a` into this factor's existing storage
+    /// (zeroing it first) — the refactorization path: same symbolic
+    /// structure, new values, **no reallocation**.
+    pub fn reload(&mut self, sym: &SymbolicFactor, a: &SymCsc) {
+        assert_eq!(a.n(), sym.n);
+        assert!(self.shape_matches(sym), "factor storage shape mismatch");
+        for arr in &mut self.sn {
+            arr.fill(0.0);
+        }
+        let f = self;
         for s in 0..sym.nsup() {
             let first = sym.sn.first_col(s);
             let end = sym.sn.end_col(s);
@@ -57,7 +77,6 @@ impl FactorData {
                 }
             }
         }
-        f
     }
 
     /// Entry `L[i, j]` (global indices, `i >= j`); zero when outside the

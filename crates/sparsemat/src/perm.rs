@@ -117,18 +117,37 @@ impl Permutation {
 
     /// Gathers `x` into new order: `out[new] = x[old_of(new)]`.
     pub fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.len());
-        self.old_of.iter().map(|&old| x[old]).collect()
+        let mut out = vec![0.0; x.len()];
+        self.apply_into(x, &mut out);
+        out
     }
 
     /// Scatters `x` back to old order: `out[old_of(new)] = x[new]`.
     pub fn apply_inv_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.len());
         let mut out = vec![0.0; x.len()];
+        self.apply_inv_into(x, &mut out);
+        out
+    }
+
+    /// In-place variant of [`apply_vec`](Self::apply_vec): gathers `x`
+    /// into new order in the caller's `out` (no allocation).
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len());
+        assert_eq!(out.len(), self.len());
+        for (new, &old) in self.old_of.iter().enumerate() {
+            out[new] = x[old];
+        }
+    }
+
+    /// In-place variant of [`apply_inv_vec`](Self::apply_inv_vec):
+    /// scatters `x` back to old order in the caller's `out` (no
+    /// allocation).
+    pub fn apply_inv_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len());
+        assert_eq!(out.len(), self.len());
         for (new, &old) in self.old_of.iter().enumerate() {
             out[old] = x[new];
         }
-        out
     }
 }
 
@@ -173,6 +192,12 @@ mod tests {
         let y = p.apply_vec(&x);
         assert_eq!(y, vec![30.0, 10.0, 20.0]);
         assert_eq!(p.apply_inv_vec(&y), x.to_vec());
+        // The in-place variants match the allocating ones.
+        let mut buf = [0.0; 3];
+        p.apply_into(&x, &mut buf);
+        assert_eq!(buf.to_vec(), y);
+        p.apply_inv_into(&y, &mut buf);
+        assert_eq!(buf, x);
     }
 
     #[test]

@@ -1,17 +1,19 @@
-//! Quickstart: factor and solve a 3-D Poisson-like SPD system.
+//! Quickstart: factor and solve a 3-D Poisson-like SPD system with the
+//! staged API (analyze once → factor → solve allocation-free).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Walks the full pipeline a downstream user would run: generate (or
-//! load) a sparse SPD matrix, factor it with nested-dissection ordering
-//! and the RL engine, solve against a manufactured right-hand side, and
-//! report the residual plus the structural statistics the paper's
-//! terminology describes (supernodes, factor fill, flops).
+//! load) a sparse SPD matrix, analyze it with nested-dissection
+//! ordering, factor with the RL engine, solve against a manufactured
+//! right-hand side through a reusable `SolveWorkspace`, and report the
+//! residual plus the structural statistics the paper's terminology
+//! describes (supernodes, factor fill, flops).
 
 use rlchol::matgen::{grid3d, Stencil};
-use rlchol::{CholeskySolver, Method, SolverOptions};
+use rlchol::{CholeskySolver, Method, SolveWorkspace, SolverOptions};
 
 fn main() {
     // A 20x20x20 7-point grid: n = 8000, the "hello world" of sparse SPD.
@@ -22,38 +24,50 @@ fn main() {
         method: Method::RlCpu,
         ..SolverOptions::default()
     };
-    let t0 = std::time::Instant::now();
-    let solver = CholeskySolver::factor(&a, &opts).expect("SPD input");
-    let elapsed = t0.elapsed();
 
-    let sym = solver.symbolic();
+    // Stage 1: ordering + symbolic analysis (pattern only, no values).
+    let t0 = std::time::Instant::now();
+    let handle = CholeskySolver::analyze(&a, &opts);
+    let t_analyze = t0.elapsed();
+
+    let sym = handle.symbolic();
     println!(
-        "factor: {} supernodes, nnz(L) = {}, {:.2} Gflop, wall {:.1} ms",
+        "analyze: {} supernodes, nnz(L) = {}, {:.2} Gflop, wall {:.1} ms",
         sym.nsup(),
         sym.nnz,
         sym.flops / 1e9,
-        elapsed.as_secs_f64() * 1e3
+        t_analyze.as_secs_f64() * 1e3
     );
     println!(
-        "setup:  {} merges (+{} entries fill), {} -> {} row blocks after PR",
+        "setup:   {} merges (+{} entries fill), {} -> {} row blocks after PR",
         sym.stats.merges,
         sym.stats.merge_extra_fill,
         sym.stats.blocks_before_pr,
         sym.stats.blocks_after_pr
     );
 
-    // Manufactured solution: x* = (1, 2, ..., n) scaled.
+    // Stage 2: numeric factorization (values; repeatable per pattern).
+    let fact = handle.factor_with(&a).expect("SPD input");
+    println!(
+        "factor:  {} in {:.1} ms",
+        handle.method().label(),
+        fact.info().wall.as_secs_f64() * 1e3
+    );
+
+    // Stage 3: solve in caller buffers — zero allocation once `ws` is warm.
     let n = a.n();
     let x_true: Vec<f64> = (0..n).map(|i| (i % 100) as f64 / 100.0).collect();
     let mut b = vec![0.0; n];
     a.matvec(&x_true, &mut b);
 
-    let (x, resid) = solver.solve_refined(&a, &b, 2);
+    let mut x = vec![0.0; n];
+    let mut ws = SolveWorkspace::warm(n, 1);
+    let resid = handle.solve_refined(&fact, &a, &b, &mut x, 2, &mut ws);
     let err = x
         .iter()
         .zip(&x_true)
         .fold(0.0f64, |m, (&p, &q)| m.max((p - q).abs()));
-    println!("solve:  max |x - x*| = {err:.3e}, refined residual = {resid:.3e}");
+    println!("solve:   max |x - x*| = {err:.3e}, refined residual = {resid:.3e}");
     assert!(err < 1e-8, "solution should be accurate");
     println!("OK");
 }

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural]
-//! rlchol factor  <matrix.mtx> [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu|rl-gpu-pipe|rlb-gpu-pipe] [--ordering ...]
+//! rlchol factor  <matrix.mtx> [--method <engine>] [--ordering ...]
 //! rlchol solve   <matrix.mtx> [--method ...]   # b = A·1, reports errors
 //! rlchol spy     <matrix.mtx> [--size N]       # ASCII sparsity plot
 //! ```
+//!
+//! `--method` accepts every registered engine; the list in `--help`
+//! output is generated from [`Method::ALL`], so a newly registered
+//! engine shows up here with no CLI change.
 //!
 //! Matrices are Matrix Market files (`coordinate real|pattern`,
 //! `symmetric` or `general` holding a symmetric matrix).
@@ -14,13 +18,23 @@ use rlchol::core::engine::{GpuOptions, Method};
 use rlchol::perfmodel::MachineModel;
 use rlchol::report::spy_lower;
 use rlchol::sparse::read_matrix_market;
-use rlchol::{CholeskySolver, OrderingMethod, SolverOptions, SymCsc};
+use rlchol::{CholeskySolver, OrderingMethod, SolveWorkspace, SolverOptions, SymCsc};
+
+/// `--method` choices, generated from the engine registry.
+fn method_names() -> String {
+    Method::ALL
+        .iter()
+        .map(|m| m.cli_name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
-         [--method rl|rlb|rl-par|rlb-par|ll|mf|rl-gpu|rlb-gpu|rl-gpu-pipe|rlb-gpu-pipe] \
-         [--ordering nd|md|rcm|natural] [--size N]"
+         [--method {}] \
+         [--ordering nd|md|rcm|natural] [--size N]",
+        method_names()
     );
     std::process::exit(2);
 }
@@ -44,19 +58,10 @@ fn parse_args() -> Args {
         let value = it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--method" => {
-                method = match value.as_str() {
-                    "rl" => Method::RlCpu,
-                    "rlb" => Method::RlbCpu,
-                    "rl-par" => Method::RlCpuPar,
-                    "rlb-par" => Method::RlbCpuPar,
-                    "ll" => Method::LlCpu,
-                    "mf" => Method::MfCpu,
-                    "rl-gpu" => Method::RlGpu,
-                    "rlb-gpu" => Method::RlbGpuV2,
-                    "rl-gpu-pipe" => Method::RlGpuPipe,
-                    "rlb-gpu-pipe" => Method::RlbGpuPipe,
-                    _ => usage(),
-                }
+                method = value.parse().unwrap_or_else(|e: String| {
+                    eprintln!("rlchol: {e}");
+                    usage()
+                })
             }
             "--ordering" => {
                 ordering = match value.as_str() {
@@ -116,10 +121,10 @@ fn main() {
             );
         }
         "analyze" => {
+            // The staged API: symbolic analysis only, no numeric factor.
             let t0 = std::time::Instant::now();
-            let solver =
-                CholeskySolver::factor(&a, &solver_options(&args)).unwrap_or_else(|e| fail(e));
-            let sym = solver.symbolic();
+            let handle = CholeskySolver::analyze(&a, &solver_options(&args));
+            let sym = handle.symbolic();
             println!("ordering: {:?}", args.ordering);
             println!("supernodes: {}", sym.nsup());
             println!("nnz(L): {}", sym.nnz);
@@ -140,35 +145,46 @@ fn main() {
                 sym.max_update_matrix_entries()
             );
             println!(
-                "wall time (incl. numeric factor): {:.1} ms",
+                "analysis wall time: {:.1} ms",
                 t0.elapsed().as_secs_f64() * 1e3
             );
         }
         "factor" => {
-            let t0 = std::time::Instant::now();
-            let solver =
-                CholeskySolver::factor(&a, &solver_options(&args)).unwrap_or_else(|e| fail(e));
+            let handle = CholeskySolver::analyze(&a, &solver_options(&args));
+            let fact = handle.factor_with(&a).unwrap_or_else(|e| fail(e));
+            let info = fact.info();
             println!(
                 "factored with {} in {:.1} ms (nnz(L) = {})",
                 args.method.label(),
-                t0.elapsed().as_secs_f64() * 1e3,
-                solver.factor_nnz()
+                info.wall.as_secs_f64() * 1e3,
+                handle.factor_nnz()
             );
-            if let Some(sim) = solver.sim_seconds {
+            if let Some(sim) = info.sim_seconds {
                 println!(
-                    "simulated platform time: {sim:.4} s ({} supernodes on GPU)",
-                    solver.sn_on_gpu
+                    "simulated platform time: {sim:.4} s ({} supernodes on GPU, {} stream pair(s))",
+                    info.sn_on_gpu, info.streams_used
+                );
+            }
+            if let Some(stats) = &info.gpu {
+                println!(
+                    "device: {} kernels, {:.1} MB transferred, peak memory {:.1} MB",
+                    stats.kernel_launches,
+                    stats.total_transfer_bytes() as f64 / 1e6,
+                    stats.peak_bytes as f64 / 1e6
                 );
             }
         }
         "solve" => {
-            let solver =
-                CholeskySolver::factor(&a, &solver_options(&args)).unwrap_or_else(|e| fail(e));
-            // Manufactured b = A · 1.
-            let ones = vec![1.0; a.n()];
-            let mut b = vec![0.0; a.n()];
+            let handle = CholeskySolver::analyze(&a, &solver_options(&args));
+            let fact = handle.factor_with(&a).unwrap_or_else(|e| fail(e));
+            // Manufactured b = A · 1, solved on the allocation-free path.
+            let n = a.n();
+            let ones = vec![1.0; n];
+            let mut b = vec![0.0; n];
             a.matvec(&ones, &mut b);
-            let (x, resid) = solver.solve_refined(&a, &b, 2);
+            let mut x = vec![0.0; n];
+            let mut ws = SolveWorkspace::warm(n, 1);
+            let resid = handle.solve_refined(&fact, &a, &b, &mut x, 2, &mut ws);
             let err = x.iter().fold(0.0f64, |m, &v| m.max((v - 1.0).abs()));
             println!("solve: max |x - 1| = {err:.3e}, refined residual = {resid:.3e}");
         }

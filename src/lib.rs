@@ -11,25 +11,65 @@
 //! calibrated performance model (see `DESIGN.md` for the substitution
 //! policy that replaces the paper's A100).
 //!
-//! ## Quick start
+//! ## Quick start — the staged API
+//!
+//! The pipeline has two halves. **Analysis** (ordering + symbolic
+//! factorization) depends only on the sparsity pattern; **numeric
+//! factorization** depends on the values. [`CholeskySolver::analyze`]
+//! runs the first half once and returns a [`SymbolicCholesky`] handle;
+//! any matrix with the same pattern can then be factored
+//! ([`SymbolicCholesky::factor_with`]) or re-factored **in place**
+//! ([`SymbolicCholesky::refactor`] — no re-ordering, no re-analysis, no
+//! factor reallocation), and solves run in caller buffers with zero
+//! per-call heap allocation ([`SymbolicCholesky::solve_into`],
+//! [`SymbolicCholesky::solve_many`],
+//! [`SymbolicCholesky::solve_refined`]):
 //!
 //! ```
-//! use rlchol::{CholeskySolver, SolverOptions};
-//! use rlchol::matgen::laplace3d;
+//! use rlchol::{CholeskySolver, SolveWorkspace, SolverOptions};
+//! use rlchol::matgen::{grid3d, Stencil};
 //!
-//! // A small 3-D Poisson-like SPD system.
-//! let a = laplace3d(6, 42);
-//! let solver = CholeskySolver::factor(&a, &SolverOptions::default()).unwrap();
+//! // Two SPD systems with the same pattern, different values — the
+//! // shape of an interior-point or time-stepping serving loop.
+//! let a0 = grid3d(6, 6, 4, Stencil::Star7, 1, 42);
+//! let a1 = grid3d(6, 6, 4, Stencil::Star7, 1, 43);
+//! let n = a0.n();
 //!
-//! let b = vec![1.0; a.n()];
-//! let x = solver.solve(&b);
+//! // Analyze once ...
+//! let handle = CholeskySolver::analyze(&a0, &SolverOptions::default());
+//! // ... factor many (refactor reuses the factor storage) ...
+//! let mut fact = handle.factor_with(&a0).unwrap();
+//! handle.refactor(&mut fact, &a1).unwrap();
+//! // ... solve many, allocation-free once the workspace is warm.
+//! let mut ws = SolveWorkspace::warm(n, 1);
+//! let b = vec![1.0; n];
+//! let mut x = vec![0.0; n];
+//! handle.solve_into(&fact, &b, &mut x, &mut ws);
 //!
-//! // Check the residual of A x = b.
-//! let mut ax = vec![0.0; a.n()];
-//! a.matvec(&x, &mut ax);
+//! // Check the residual of A1 x = b.
+//! let mut ax = vec![0.0; n];
+//! a1.matvec(&x, &mut ax);
 //! let err = ax.iter().zip(&b).fold(0.0f64, |m, (&p, &q)| m.max((p - q).abs()));
 //! assert!(err < 1e-8);
 //! ```
+//!
+//! For one-off jobs, [`CholeskySolver::factor`] still runs both halves
+//! in a single call and offers allocating `solve`/`solve_refined`
+//! convenience methods.
+//!
+//! ## Engines
+//!
+//! Numeric factorization dispatches through the
+//! [`NumericEngine`](core::registry::NumericEngine) registry, keyed by
+//! [`Method`] — serial CPU (RL, RLB, left-looking, multifrontal),
+//! task-parallel CPU, and (simulated) GPU engines including the
+//! pipelined multi-stream variants. [`Method::ALL`] enumerates every
+//! registered engine; `Method` round-trips through `FromStr` via its
+//! CLI name (`"rlb-gpu".parse()`) or paper label (`"RLB_G".parse()`).
+//! Every engine reports a uniform
+//! [`FactorInfo`](core::registry::FactorInfo): wall time, simulated
+//! seconds, supernodes offloaded, stream pairs used, per-stream device
+//! counters, and the CPU trace.
 //!
 //! ## Crate map
 //!
@@ -42,23 +82,28 @@
 //! | [`gpu`] | the simulated GPU runtime (streams, events, device memory) |
 //! | [`perfmodel`] | calibrated CPU/GPU cost models and traces |
 //! | [`matgen`] | SPD generators and the paper's 21-matrix synthetic suite |
-//! | [`core`] | the RL/RLB engines (serial + task-parallel), hybrid dispatch, solves, [`CholeskySolver`] |
+//! | [`core`] | engines + registry, staged solver, hybrid dispatch, solves |
 //! | [`report`] | performance profiles, tables, plots |
 //!
 //! ## Threads and streams
 //!
 //! The task-parallel engines ([`Method::RlCpuPar`], [`Method::RlbCpuPar`])
-//! and the striped dense kernels share one persistent work-stealing pool,
-//! sized by the **`RLCHOL_THREADS`** environment variable (positive
-//! integer) or, when unset, by [`std::thread::available_parallelism`].
+//! and the striped dense kernels share one persistent work-stealing pool;
+//! the pipelined GPU engines ([`Method::RlGpuPipe`], [`Method::RlbGpuPipe`])
+//! dispatch ready supernodes onto simulated compute/copy stream pairs.
+//! Sizing follows one precedence rule, resolved when
+//! [`CholeskySolver::analyze`] builds the handle's engine workspace:
 //!
-//! The pipelined GPU engines ([`Method::RlGpuPipe`],
-//! [`Method::RlbGpuPipe`]) dispatch independent ready supernodes onto
-//! simulated compute/copy stream pairs; the pair count comes from the
-//! **`RLCHOL_STREAMS`** environment variable (positive integer, default
-//! 2) unless set explicitly in
-//! [`GpuOptions::streams`](core::engine::GpuOptions::streams). One pair
-//! degenerates to the single-stream schedule, bit-exactly.
+//! 1. An explicit nonzero [`SolverOptions::threads`] /
+//!    [`GpuOptions::streams`](core::engine::GpuOptions::streams) wins.
+//! 2. A zero defers to the **`RLCHOL_THREADS`** / **`RLCHOL_STREAMS`**
+//!    environment variable (positive integer), read at use.
+//! 3. Unset environment falls back to
+//!    [`std::thread::available_parallelism`] (threads) / the runtime
+//!    default of 2 (stream pairs).
+//!
+//! One lane / one pair degenerates to the serial / single-stream
+//! schedule, bit-exactly.
 
 pub use rlchol_core as core;
 pub use rlchol_dense as dense;
@@ -71,7 +116,10 @@ pub use rlchol_sparse as sparse;
 pub use rlchol_symbolic as symbolic;
 
 pub use rlchol_core::engine::{GpuOptions, Method};
-pub use rlchol_core::{CholeskySolver, FactorError, SolverOptions};
+pub use rlchol_core::{
+    CholeskySolver, FactorError, FactorInfo, Factorization, SolveWorkspace, SolverOptions,
+    SymbolicCholesky,
+};
 pub use rlchol_ordering::OrderingMethod;
 pub use rlchol_sparse::{SymCsc, TripletMatrix};
 pub use rlchol_symbolic::{SymbolicFactor, SymbolicOptions};

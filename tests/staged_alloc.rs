@@ -1,0 +1,96 @@
+//! Allocation accounting for the staged solve path: after warm-up,
+//! `solve_into`, `solve_many` and `solve_refined` must perform **zero**
+//! heap allocations per call. Enforced with a counting global
+//! allocator, so a regression that sneaks a `Vec` into the hot path
+//! fails loudly.
+//!
+//! The counting allocator is per-binary, so this file holds exactly one
+//! test (the harness runs tests in parallel threads; a second test's
+//! allocations would race the counter).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use rlchol::matgen::{grid3d, Stencil};
+use rlchol::{CholeskySolver, SolveWorkspace, SolverOptions};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on; returns the allocation count.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn solves_are_allocation_free_after_warm_up() {
+    let a = grid3d(6, 5, 4, Stencil::Star7, 1, 11);
+    let n = a.n();
+    let k = 3;
+    let handle = CholeskySolver::analyze(&a, &SolverOptions::default());
+    let fact = handle.factor_with(&a).expect("SPD input");
+
+    let b: Vec<f64> = (0..n * k).map(|i| ((i * 17) % 41) as f64 - 20.0).collect();
+    let mut x = vec![0.0; n];
+    let mut xs = vec![0.0; n * k];
+    let mut ws = SolveWorkspace::new();
+
+    // Warm-up: the workspace buffers grow to their steady-state sizes.
+    handle.solve_into(&fact, &b[..n], &mut x, &mut ws);
+    handle.solve_many(&fact, &b, &mut xs, k, &mut ws);
+    handle.solve_refined(&fact, &a, &b[..n], &mut x, 2, &mut ws);
+
+    // Steady state: repeated solves must not touch the heap.
+    let allocs = count_allocs(|| {
+        for _ in 0..5 {
+            handle.solve_into(&fact, &b[..n], &mut x, &mut ws);
+            handle.solve_many(&fact, &b, &mut xs, k, &mut ws);
+            handle.solve_refined(&fact, &a, &b[..n], &mut x, 2, &mut ws);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "solve path allocated {allocs} times after warm-up"
+    );
+
+    // And a workspace pre-grown with `warm` is allocation-free from the
+    // very first call.
+    let mut warm_ws = SolveWorkspace::warm(n, k);
+    let allocs = count_allocs(|| {
+        handle.solve_into(&fact, &b[..n], &mut x, &mut warm_ws);
+        handle.solve_many(&fact, &b, &mut xs, k, &mut warm_ws);
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm workspace allocated {allocs} times on first use"
+    );
+}
