@@ -38,6 +38,7 @@ fn bench_factorization(c: &mut Criterion) {
         threshold: 20_000,
         overlap: true,
         streams: 0,
+        assign: None,
     };
     g.bench_function("rl_gpu_sim", |b| {
         b.iter(|| factor_rl_gpu(&sym, &a, &opts).unwrap())

@@ -1,0 +1,143 @@
+//! Solve scaling trajectory: the serial sweeps against the level-set
+//! (tree-parallel) sweeps over a thread × RHS-count sweep, on an
+//! ND-ordered `grid3d(k, k, k, Star7)` — the bushy elimination tree the
+//! level width comes from.
+//!
+//! Prints a table and writes `BENCH_solve_scaling.json` so successive
+//! PRs can track the curve. As with `BENCH_cpu_scaling.json`, a 1-CPU
+//! container can only show the scheduling overhead, not speedup —
+//! regenerate on a multicore host for the real trajectory.
+//!
+//! Usage: `solve_scaling [k] [out.json]` — `k` is the grid edge
+//! (default 24; use a smaller k for a quick smoke run).
+
+use rlchol_core::{CholeskySolver, SolveWorkspace, SolverOptions};
+use rlchol_matgen::{grid3d, Stencil};
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const RHS_SWEEP: [usize; 3] = [1, 4, 16];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args
+        .next()
+        .map(|v| v.parse().expect("grid edge must be an integer"))
+        .unwrap_or(24);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_solve_scaling.json".to_string());
+
+    // Give the persistent pool enough lanes for the sweep even when the
+    // machine reports fewer; an explicit RLCHOL_THREADS wins.
+    if std::env::var("RLCHOL_THREADS").is_err() {
+        std::env::set_var(
+            "RLCHOL_THREADS",
+            THREAD_SWEEP.iter().max().unwrap().to_string(),
+        );
+    }
+
+    let name = format!("grid3d({k}, {k}, {k}, Star7)");
+    eprintln!("generating {name} ...");
+    let a = grid3d(k, k, k, Stencil::Star7, 1, 29);
+    let n = a.n();
+    // Analyze once (ND ordering is the default); the solve plan rides
+    // on the handle, so the thread sweep only flips `set_solve_threads`.
+    let mut handle = CholeskySolver::analyze(&a, &SolverOptions::default());
+    let fact = handle.factor_with(&a).expect("SPD");
+    let plan_info = handle.solve_info();
+    eprintln!(
+        "n = {}, factor nnz = {}, plan: {} levels, max width {}",
+        n,
+        handle.factor_nnz(),
+        plan_info.levels,
+        plan_info.max_width
+    );
+
+    // Min of three runs, like the other trajectory benches.
+    let time = |f: &mut dyn FnMut()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    println!(
+        "{:>8}  {:>6}  {:>12}  {:>10}  {:>10}",
+        "threads", "nrhs", "path", "solve (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    let max_rhs = *RHS_SWEEP.iter().max().unwrap();
+    let b: Vec<f64> = (0..n * max_rhs)
+        .map(|i| ((i * 13) % 37) as f64 - 18.0)
+        .collect();
+    let mut x = vec![0.0; n * max_rhs];
+    let mut ws = SolveWorkspace::warm(n, max_rhs);
+    for nrhs in RHS_SWEEP {
+        let mut serial_s = f64::NAN;
+        for threads in THREAD_SWEEP {
+            handle.set_solve_threads(threads);
+            let info = handle.solve_info();
+            let path = if info.level_set {
+                "level-set"
+            } else {
+                "serial"
+            };
+            // Untimed warm-up (pool spawn, workspace growth).
+            handle
+                .solve_many(&fact, &b[..n * nrhs], &mut x[..n * nrhs], nrhs, &mut ws)
+                .expect("buffers sized to the system");
+            let secs = time(&mut || {
+                handle
+                    .solve_many(&fact, &b[..n * nrhs], &mut x[..n * nrhs], nrhs, &mut ws)
+                    .expect("buffers sized to the system");
+            });
+            if threads == 1 {
+                serial_s = secs;
+            }
+            let speedup = serial_s / secs;
+            println!("{threads:>8}  {nrhs:>6}  {path:>12}  {secs:>10.5}  {speedup:>10.2}");
+            rows.push(format!(
+                concat!(
+                    "    {{\"threads\": {}, \"nrhs\": {}, \"path\": \"{}\", ",
+                    "\"solve_s\": {:.6}, \"speedup\": {:.4}}}"
+                ),
+                threads, nrhs, path, secs, speedup,
+            ));
+        }
+    }
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"matrix\": \"{}\",\n",
+            "  \"n\": {},\n",
+            "  \"factor_nnz\": {},\n",
+            "  \"plan_levels\": {},\n",
+            "  \"plan_max_width\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"sweep\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        name,
+        n,
+        handle.factor_nnz(),
+        plan_info.levels,
+        plan_info.max_width,
+        hw,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("writing scaling JSON");
+    eprintln!("wrote {out_path} (hardware threads: {hw})");
+    if hw == 1 {
+        eprintln!(
+            "note: this machine exposes a single hardware thread; the \
+             level-set rows measure scheduling overhead, not speedup — \
+             rerun on a multicore host for the real curve"
+        );
+    }
+}

@@ -96,6 +96,7 @@ pub fn gpu_options(cfg: &SuiteConfig, threshold: usize) -> GpuOptions {
         threshold,
         overlap: true,
         streams: 0,
+        assign: None,
     }
 }
 

@@ -162,6 +162,37 @@ pub fn best_cpu_time(rl: &CpuRun, rlb: &CpuRun) -> (f64, Method, usize) {
     }
 }
 
+/// How the pipelined engines assign ready supernodes to compute/copy
+/// stream pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAssign {
+    /// Cycle through the pairs in issue order (the default). Simple and
+    /// fair when supernodes are similar, but a pair stuck behind a large
+    /// supernode keeps receiving work it cannot start.
+    RoundRobin,
+    /// Issue to the pair with the fewest supernodes in flight (ties to
+    /// the lowest pair index). Evens out uneven queues; identical to
+    /// round-robin while queues stay balanced. Retirement order — and
+    /// therefore the factor — is unaffected by the choice.
+    LeastLoaded,
+}
+
+impl StreamAssign {
+    /// Parses the `RLCHOL_STREAM_ASSIGN` environment variable: `rr` for
+    /// round-robin, `ll` for least-loaded; anything else (or unset) is
+    /// `None`.
+    pub fn from_env() -> Option<StreamAssign> {
+        match std::env::var("RLCHOL_STREAM_ASSIGN") {
+            Ok(v) => match v.trim() {
+                "rr" => Some(StreamAssign::RoundRobin),
+                "ll" => Some(StreamAssign::LeastLoaded),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    }
+}
+
 /// Options for the GPU-accelerated engines.
 #[derive(Debug, Clone, Copy)]
 pub struct GpuOptions {
@@ -180,6 +211,11 @@ pub struct GpuOptions {
     /// [`rlchol_gpu::default_streams`]). The single-stream engines
     /// ignore it.
     pub streams: usize,
+    /// Stream-pair assignment policy for the pipelined engines; `None`
+    /// resolves to `RLCHOL_STREAM_ASSIGN`, defaulting to
+    /// [`StreamAssign::RoundRobin`]. Any policy yields the same factor
+    /// (retirement stays in order); only stream utilization differs.
+    pub assign: Option<StreamAssign>,
 }
 
 impl GpuOptions {
@@ -190,12 +226,19 @@ impl GpuOptions {
             threshold,
             overlap: true,
             streams: 0,
+            assign: None,
         }
     }
 
     /// The same options with an explicit stream-pair count.
     pub fn with_streams(mut self, streams: usize) -> Self {
         self.streams = streams;
+        self
+    }
+
+    /// The same options with an explicit stream-pair assignment policy.
+    pub fn with_assign(mut self, assign: StreamAssign) -> Self {
+        self.assign = Some(assign);
         self
     }
 }

@@ -59,6 +59,59 @@ impl fmt::Display for FactorError {
 
 impl std::error::Error for FactorError {}
 
+/// Dimension errors of the staged solve entry points
+/// (`solve_into`/`solve_many`/`solve_refined`): a right-hand-side or
+/// solution buffer whose length does not match the analyzed system.
+/// Typed (rather than an assert) because serving loops feed solves with
+/// caller-supplied buffers and should reject a bad request, not abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The right-hand-side block's length is not `n × k`.
+    RhsDimension {
+        /// Expected length (`n` for single-RHS entry points, `n × k`
+        /// for blocked ones).
+        expected: usize,
+        /// Length actually supplied.
+        found: usize,
+    },
+    /// The solution block's length is not `n × k`.
+    SolutionDimension {
+        /// Expected length.
+        expected: usize,
+        /// Length actually supplied.
+        found: usize,
+    },
+    /// The matrix handed to `solve_refined` for residual computation
+    /// has a different dimension than the analyzed system.
+    MatrixDimension {
+        /// The analyzed system's dimension.
+        expected: usize,
+        /// Dimension of the matrix actually supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::RhsDimension { expected, found } => write!(
+                f,
+                "right-hand side has {found} entries, system expects {expected}"
+            ),
+            SolveError::SolutionDimension { expected, found } => write!(
+                f,
+                "solution buffer has {found} entries, system expects {expected}"
+            ),
+            SolveError::MatrixDimension { expected, found } => write!(
+                f,
+                "matrix has dimension {found}, analyzed system has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 impl From<GpuError> for FactorError {
     fn from(e: GpuError) -> Self {
         match e {

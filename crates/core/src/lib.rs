@@ -41,6 +41,11 @@
 //!   out-of-order dispatch of ready supernodes onto `RLCHOL_STREAMS`
 //!   simulated compute/copy stream pairs, with in-order host retirement
 //!   keeping the factor bit-identical to the single-stream engines.
+//! * **Planned triangular solves** ([`solve`]) — a [`solve::SolvePlan`]
+//!   of elimination-tree level sets, computed once per analysis, drives
+//!   tree-parallel forward/backward sweeps (`RLCHOL_SOLVE_THREADS`
+//!   lanes) that are bit-identical to the serial reference at any
+//!   thread count.
 //!
 //! The [`solver::CholeskySolver`] ties ordering, symbolic analysis,
 //! numeric factorization and triangular solves into the end-to-end
@@ -64,9 +69,10 @@ pub mod staged;
 pub mod storage;
 
 pub use engine::{best_cpu_time, CpuRun, GpuOptions, GpuRun, Method};
-pub use error::FactorError;
+pub use error::{FactorError, SolveError};
 pub use registry::{engine_for, EngineRun, EngineWorkspace, FactorInfo, NumericEngine};
 pub use sched::{factor_rl_cpu_par, factor_rl_gpu_pipe, factor_rlb_cpu_par, factor_rlb_gpu_pipe};
+pub use solve::{SolveInfo, SolvePlan};
 pub use solver::{CholeskySolver, SolverOptions};
 pub use staged::{Factorization, SolveWorkspace, SymbolicCholesky};
 pub use storage::FactorData;

@@ -6,11 +6,14 @@
 //! two live in disjoint subtrees. This executor splits scheduling into
 //! two interleaved phases driven by the engine-agnostic [`Frontier`]:
 //!
-//! * **Issue (out of order, round-robin).** Whenever a supernode becomes
+//! * **Issue (out of order).** Whenever a supernode becomes
 //!   ready — all its updaters have been applied to host storage — its
 //!   device phase (H2D, DPOTRF, DTRSM, async panel copy-back, update
 //!   kernels, update D2H into a per-supernode host staging area) is
-//!   enqueued on the next of `RLCHOL_STREAMS` compute/copy stream pairs.
+//!   enqueued on one of `RLCHOL_STREAMS` compute/copy stream pairs,
+//!   chosen by the [`StreamAssign`] policy (round-robin by default;
+//!   least-loaded — fewest supernodes in flight — via
+//!   `GpuOptions::assign` or `RLCHOL_STREAM_ASSIGN=ll`).
 //!   Each pair owns one panel buffer and one update/staging buffer;
 //!   an [`Event`](rlchol_gpu::Event) recorded after the pair's previous
 //!   occupant drains its copy stream gates buffer reuse, so arbitrarily
@@ -50,7 +53,7 @@ use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
 
 use crate::assemble::assemble_update_pool;
-use crate::engine::{factor_panel, GpuOptions, GpuRun};
+use crate::engine::{factor_panel, GpuOptions, GpuRun, StreamAssign};
 use crate::error::FactorError;
 use crate::gpu_rl::{map_device_pivot, offload_set};
 use crate::gpu_rlb::{apply_strips_pool, cpu_direct_update, launch_strip_kernel, strips_of, Strip};
@@ -201,7 +204,19 @@ fn run_pipeline(
     // against the whole backlog; ~1 executing + 1 queued per pair keeps
     // every stream fed while D2H results stay close to the retire front.
     let window = 2 * nstreams;
+    // Pair assignment: round-robin unless opts / RLCHOL_STREAM_ASSIGN
+    // select least-loaded. Either way retirement below stays in
+    // ascending order, so the factor is identical; the policy only
+    // changes which pair's queue each supernode waits in.
+    let assign = opts
+        .assign
+        .or_else(StreamAssign::from_env)
+        .unwrap_or(StreamAssign::RoundRobin);
     let mut rr = 0usize; // round-robin stream cursor
+                         // Issued-but-unretired supernodes per pair (least-loaded policy).
+    let mut pair_load = vec![0usize; nstreams];
+    // Which pair each in-flight supernode was issued on.
+    let mut pair_of = vec![usize::MAX; nsup];
     let mut targets = Vec::new();
     // CPU-path scratch, reused across supernodes.
     let mut l11: Vec<f64> = Vec::new();
@@ -220,9 +235,32 @@ fn run_pipeline(
             }
             heap.pop();
             if on_gpu[t] {
-                let ctx = &mut ctxs[rr % nstreams];
-                rr += 1;
-                issue(&gpu, sym, &mut data, ctx, t, variant, &mut inflight)?;
+                let pick = match assign {
+                    StreamAssign::RoundRobin => {
+                        let p = rr % nstreams;
+                        rr += 1;
+                        p
+                    }
+                    // Fewest in flight, ties to the lowest pair index
+                    // (the first minimum `min_by_key` finds).
+                    StreamAssign::LeastLoaded => pair_load
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &l)| l)
+                        .map(|(i, _)| i)
+                        .expect("at least one stream pair"),
+                };
+                issue(
+                    &gpu,
+                    sym,
+                    &mut data,
+                    &mut ctxs[pick],
+                    t,
+                    variant,
+                    &mut inflight,
+                )?;
+                pair_load[pick] += 1;
+                pair_of[t] = pick;
                 in_flight_count += 1;
             }
         }
@@ -237,6 +275,7 @@ fn run_pipeline(
                 .take()
                 .expect("ascending retirement implies s was ready and issued");
             in_flight_count -= 1;
+            pair_load[pair_of[s]] -= 1;
             if r > 0 {
                 gpu.host_wait_event(inf.ready);
                 let entries = match variant {
@@ -483,6 +522,26 @@ mod tests {
         for streams in [1usize, 3] {
             let run = factor_rlb_gpu_pipe(&sym, &ap, &opts1.with_streams(streams)).unwrap();
             assert_eq!(v1.factor.sn, run.factor.sn, "streams {streams}");
+        }
+    }
+
+    #[test]
+    fn least_loaded_assignment_is_bit_identical_and_never_slower_to_issue() {
+        // Any assignment policy must produce the single-stream factor
+        // (retirement is in order regardless of which pair ran what).
+        let a = laplace3d(6, 43);
+        let (sym, ap) = setup(&a);
+        let base = factor_rl_gpu(&sym, &ap, &GpuOptions::with_threshold(0)).unwrap();
+        for streams in [1usize, 2, 4] {
+            let opts = GpuOptions::with_threshold(0)
+                .with_streams(streams)
+                .with_assign(StreamAssign::LeastLoaded);
+            let run = factor_rl_gpu_pipe(&sym, &ap, &opts).unwrap();
+            assert_eq!(run.streams_used, streams);
+            assert_eq!(
+                base.factor.sn, run.factor.sn,
+                "least-loaded streams {streams}: factor must be bit-identical"
+            );
         }
     }
 

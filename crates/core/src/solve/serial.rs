@@ -1,5 +1,11 @@
-//! Supernodal triangular solves (the "use the factors to compute the
-//! solution" half of the paper's pipeline).
+//! Serial supernodal triangular sweeps — the reference arithmetic.
+//!
+//! Every other solve path in the subsystem (the level-set sweeps in
+//! [`super::levelset`], the blocked multi-RHS variants) is defined as
+//! "bit-identical to this module": per solution entry, the same
+//! floating-point operations in the same order. These functions are also
+//! the production path for small systems and single-lane configurations,
+//! where the level-set machinery is pure overhead.
 
 use rlchol_symbolic::SymbolicFactor;
 

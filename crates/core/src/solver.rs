@@ -37,6 +37,12 @@ pub struct SolverOptions {
     /// [`Method::RlbCpuPar`]); `0` means `RLCHOL_THREADS` / available
     /// parallelism. Ignored by the serial and GPU methods.
     pub threads: usize,
+    /// Lanes for the level-set (tree-parallel) triangular solves. `0`
+    /// means automatic: `RLCHOL_SOLVE_THREADS` if set, else the pool
+    /// default with a small-system serial cutoff. `1` forces the serial
+    /// sweeps, `> 1` forces the level-set path whenever the elimination
+    /// tree has level width. Both paths produce bit-identical solutions.
+    pub solve_threads: usize,
 }
 
 impl Default for SolverOptions {
@@ -47,6 +53,7 @@ impl Default for SolverOptions {
             method: Method::RlCpu,
             gpu: GpuOptions::with_threshold(usize::MAX),
             threads: 0,
+            solve_threads: 0,
         }
     }
 }
@@ -124,9 +131,14 @@ impl CholeskySolver {
     /// Solves `A x = b` with `b` in the original ordering. Internal
     /// scratch comes from the solver's reusable workspace; only the
     /// returned vector is allocated.
+    ///
+    /// # Panics
+    /// When `b.len()` does not match the system dimension — use
+    /// [`SymbolicCholesky::solve_into`] for the typed
+    /// [`SolveError`](crate::error::SolveError) instead.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let mut x = vec![0.0; b.len()];
-        match self.solve_ws.try_lock() {
+        let result = match self.solve_ws.try_lock() {
             Ok(mut ws) => self.staged.solve_into(&self.fact, b, &mut x, &mut ws),
             // Contended (or poisoned) workspace: solve with a local one
             // — the cost of the old allocating path, no serialization.
@@ -134,11 +146,17 @@ impl CholeskySolver {
                 let mut ws = SolveWorkspace::new();
                 self.staged.solve_into(&self.fact, b, &mut x, &mut ws)
             }
-        }
+        };
+        result.unwrap_or_else(|e| panic!("{e}"));
         x
     }
 
     /// Solves with iterative refinement; returns `(x, final_residual_inf)`.
+    ///
+    /// # Panics
+    /// When `b.len()` does not match the system dimension — use
+    /// [`SymbolicCholesky::solve_refined`] for the typed
+    /// [`SolveError`](crate::error::SolveError) instead.
     pub fn solve_refined(&self, a: &SymCsc, b: &[f64], max_iters: usize) -> (Vec<f64>, f64) {
         let mut x = vec![0.0; b.len()];
         let resid = match self.solve_ws.try_lock() {
@@ -151,7 +169,7 @@ impl CholeskySolver {
                     .solve_refined(&self.fact, a, b, &mut x, max_iters, &mut ws)
             }
         };
-        (x, resid)
+        (x, resid.unwrap_or_else(|e| panic!("{e}")))
     }
 }
 

@@ -38,9 +38,9 @@ use rlchol_sparse::{Permutation, SymCsc};
 use rlchol_symbolic::{analyze, SymbolicFactor};
 
 use crate::engine::Method;
-use crate::error::FactorError;
+use crate::error::{FactorError, SolveError};
 use crate::registry::{engine_for, EngineWorkspace, FactorInfo, NumericEngine};
-use crate::solve;
+use crate::solve::{self, SolveInfo, SolvePlan};
 use crate::solver::SolverOptions;
 use crate::storage::FactorData;
 
@@ -119,6 +119,20 @@ fn ensure_len(buf: &mut Vec<f64>, len: usize) {
     }
 }
 
+/// Resolves the solve lane count once, at handle construction: an
+/// explicit option wins, else `RLCHOL_SOLVE_THREADS`, else the pool
+/// default. Returns `(lanes, forced)` — `forced` marks the first two
+/// sources, which bypass the automatic small-system serial cutoff.
+fn resolve_solve_threads(option: usize) -> (usize, bool) {
+    if option > 0 {
+        return (option, true);
+    }
+    match solve::env_solve_threads() {
+        Some(t) => (t, true),
+        None => (rlchol_dense::pool::default_threads(), false),
+    }
+}
+
 /// The analyzed half of the pipeline: composed permutation, symbolic
 /// factor, resolved numeric engine, and the resources reused across
 /// repeated factorizations. Produced by [`CholeskySolver::analyze`]
@@ -129,6 +143,16 @@ pub struct SymbolicCholesky {
     total_perm: Permutation,
     method: Method,
     engine: &'static dyn NumericEngine,
+    /// Level sets + gather segments for the tree-parallel sweeps,
+    /// computed once here (pattern-only) and consulted on every solve.
+    plan: SolvePlan,
+    /// Resolved solve lane count and whether it was forced (explicit
+    /// [`SolverOptions::solve_threads`] or `RLCHOL_SOLVE_THREADS`)
+    /// rather than derived from the pool default. Resolved **once** at
+    /// construction (or [`set_solve_threads`](Self::set_solve_threads)):
+    /// an environment read allocates, and the solve hot path must not.
+    solve_lanes: usize,
+    solve_forced: bool,
     /// The analyzed pattern (lower triangle of the *input* matrix), kept
     /// to reject same-handle calls with a different pattern.
     pattern_colptr: Vec<usize>,
@@ -185,11 +209,16 @@ impl SymbolicCholesky {
 
         let engine = engine_for(opts.method);
         let ws = EngineWorkspace::new(opts.threads, opts.gpu);
+        let plan = SolvePlan::build(&sym);
+        let (solve_lanes, solve_forced) = resolve_solve_threads(opts.solve_threads);
         SymbolicCholesky {
             sym,
             total_perm,
             method: opts.method,
             engine,
+            plan,
+            solve_lanes,
+            solve_forced,
             pattern_colptr: a.colptr().to_vec(),
             pattern_rowind: a.rowind().to_vec(),
             value_map,
@@ -309,44 +338,129 @@ impl SymbolicCholesky {
         })
     }
 
+    /// Overrides the handle's solve lane count (`0` restores the
+    /// `RLCHOL_SOLVE_THREADS` / automatic resolution). Lets one analyzed
+    /// handle serve configurations with different solve parallelism —
+    /// e.g. a thread-sweep benchmark — without re-analyzing.
+    pub fn set_solve_threads(&mut self, threads: usize) {
+        let (lanes, forced) = resolve_solve_threads(threads);
+        self.solve_lanes = lanes;
+        self.solve_forced = forced;
+    }
+
+    /// How this handle's solves will run: plan shape (levels, width)
+    /// plus the resolved thread count and selected path. The solve-side
+    /// analogue of [`FactorInfo`].
+    pub fn solve_info(&self) -> SolveInfo {
+        let (threads, level_set) = self.solve_path();
+        SolveInfo {
+            levels: self.plan.num_levels(),
+            max_width: self.plan.max_width(),
+            threads,
+            level_set,
+        }
+    }
+
+    /// The cached solve plan (level sets, gather segments).
+    pub fn solve_plan(&self) -> &SolvePlan {
+        &self.plan
+    }
+
+    /// Serial/parallel selection. The level-set path needs lanes *and*
+    /// level width to pay for its barriers; under automatic resolution
+    /// small systems stay serial too ([`solve::AUTO_MIN_N`]), while a
+    /// forced thread count trusts the caller. Selection never affects
+    /// results — the paths are bit-identical — only wall clock.
+    fn solve_path(&self) -> (usize, bool) {
+        let threads = self.solve_lanes;
+        let wide = self.plan.max_width() > 1;
+        let level_set =
+            threads > 1 && wide && (self.solve_forced || self.sym.n >= solve::AUTO_MIN_N);
+        (threads, level_set)
+    }
+
+    /// Runs the planned forward + backward sweeps on the factor-ordered
+    /// block `bp` (`n × k`, column-major).
+    fn run_sweeps(&self, fact: &Factorization, bp: &mut [f64], k: usize) {
+        let (threads, level_set) = self.solve_path();
+        if level_set {
+            solve::solve_forward_level_set(&self.sym, &self.plan, &fact.data, bp, k, threads);
+            solve::solve_backward_level_set(&self.sym, &self.plan, &fact.data, bp, k, threads);
+        } else if k == 1 {
+            solve::solve_forward(&self.sym, &fact.data, bp);
+            solve::solve_backward(&self.sym, &fact.data, bp);
+        } else {
+            solve::solve_forward_multi(&self.sym, &fact.data, bp, k);
+            solve::solve_backward_multi(&self.sym, &fact.data, bp, k);
+        }
+    }
+
+    /// Checks one buffer's length against `n × k`.
+    fn check_dim(
+        &self,
+        len: usize,
+        k: usize,
+        mk: fn(usize, usize) -> SolveError,
+    ) -> Result<(), SolveError> {
+        let expected = self.sym.n * k;
+        if len != expected {
+            return Err(mk(expected, len));
+        }
+        Ok(())
+    }
+
     /// Solves `A x = b` (original ordering) into the caller's `x`,
     /// drawing scratch from `ws` — zero heap allocations once `ws` is
-    /// warm.
+    /// warm. Takes the level-set path when the handle's solve plan
+    /// selected it (see [`solve_info`](Self::solve_info)); results are
+    /// bit-identical either way.
     pub fn solve_into(
         &self,
         fact: &Factorization,
         b: &[f64],
         x: &mut [f64],
         ws: &mut SolveWorkspace,
-    ) {
-        self.solve_perm(fact, b, x, &mut ws.perm);
+    ) -> Result<(), SolveError> {
+        self.solve_perm(fact, b, x, &mut ws.perm)
     }
 
     /// Inner single-RHS solve against an explicit permutation scratch
     /// (lets refinement use the other workspace fields simultaneously).
-    fn solve_perm(&self, fact: &Factorization, b: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+    fn solve_perm(
+        &self,
+        fact: &Factorization,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut Vec<f64>,
+    ) -> Result<(), SolveError> {
         assert!(
             fact.is_valid(),
             "factorization was invalidated by a failed refactor; \
              refactor successfully before solving"
         );
+        self.check_dim(b.len(), 1, |expected, found| SolveError::RhsDimension {
+            expected,
+            found,
+        })?;
+        self.check_dim(x.len(), 1, |expected, found| {
+            SolveError::SolutionDimension { expected, found }
+        })?;
         let n = self.sym.n;
-        assert_eq!(b.len(), n);
-        assert_eq!(x.len(), n);
         ensure_len(scratch, n);
         let bp = &mut scratch[..n];
         self.total_perm.apply_into(b, bp);
-        solve::solve_forward(&self.sym, &fact.data, bp);
-        solve::solve_backward(&self.sym, &fact.data, bp);
+        self.run_sweeps(fact, bp, 1);
         self.total_perm.apply_inv_into(bp, x);
+        Ok(())
     }
 
     /// Solves `A X = B` for `k` right-hand sides stored column-major in
     /// `b` (an `n × k` block, leading dimension `n`), writing the
     /// solutions into `x` with the same layout. The forward/backward
     /// sweeps are blocked over the supernodes (each panel is read once
-    /// per sweep, not once per RHS); zero heap allocations once `ws` is
-    /// warm.
+    /// per sweep, not once per RHS) and take the level-set path when
+    /// selected; zero heap allocations once `ws` is warm. `k == 0` is a
+    /// valid empty request.
     pub fn solve_many(
         &self,
         fact: &Factorization,
@@ -354,27 +468,35 @@ impl SymbolicCholesky {
         x: &mut [f64],
         k: usize,
         ws: &mut SolveWorkspace,
-    ) {
+    ) -> Result<(), SolveError> {
         assert!(
             fact.is_valid(),
             "factorization was invalidated by a failed refactor; \
              refactor successfully before solving"
         );
+        self.check_dim(b.len(), k, |expected, found| SolveError::RhsDimension {
+            expected,
+            found,
+        })?;
+        self.check_dim(x.len(), k, |expected, found| {
+            SolveError::SolutionDimension { expected, found }
+        })?;
+        if k == 0 || self.sym.n == 0 {
+            return Ok(());
+        }
         let n = self.sym.n;
-        assert_eq!(b.len(), n * k);
-        assert_eq!(x.len(), n * k);
         ensure_len(&mut ws.perm, n * k);
         let bp = &mut ws.perm[..n * k];
         for rhs in 0..k {
             self.total_perm
                 .apply_into(&b[rhs * n..(rhs + 1) * n], &mut bp[rhs * n..(rhs + 1) * n]);
         }
-        solve::solve_forward_multi(&self.sym, &fact.data, bp, k);
-        solve::solve_backward_multi(&self.sym, &fact.data, bp, k);
+        self.run_sweeps(fact, bp, k);
         for rhs in 0..k {
             self.total_perm
                 .apply_inv_into(&bp[rhs * n..(rhs + 1) * n], &mut x[rhs * n..(rhs + 1) * n]);
         }
+        Ok(())
     }
 
     /// Solves with iterative refinement on the in-place path, writing
@@ -390,14 +512,20 @@ impl SymbolicCholesky {
         x: &mut [f64],
         max_iters: usize,
         ws: &mut SolveWorkspace,
-    ) -> f64 {
-        let n = b.len();
+    ) -> Result<f64, SolveError> {
+        let n = self.sym.n;
+        if a.n() != n {
+            return Err(SolveError::MatrixDimension {
+                expected: n,
+                found: a.n(),
+            });
+        }
         let SolveWorkspace { perm, resid, corr } = ws;
         ensure_len(resid, n);
         ensure_len(corr, n);
         let resid = &mut resid[..n];
         let corr = &mut corr[..n];
-        self.solve_perm(fact, b, x, perm);
+        self.solve_perm(fact, b, x, perm)?;
         let mut last = f64::INFINITY;
         for _ in 0..max_iters {
             a.matvec(x, resid);
@@ -410,12 +538,13 @@ impl SymbolicCholesky {
                 break;
             }
             last = norm;
-            self.solve_perm(fact, resid, corr, perm);
+            self.solve_perm(fact, resid, corr, perm)
+                .expect("workspace buffers are sized to n");
             for i in 0..n {
                 x[i] += corr[i];
             }
         }
-        last
+        Ok(last)
     }
 }
 
@@ -494,10 +623,10 @@ mod tests {
         let b: Vec<f64> = (0..n * k).map(|i| ((i * 13) % 31) as f64 - 15.0).collect();
         let mut x = vec![0.0; n];
         let mut xs = vec![0.0; n * k];
-        sc.solve_many(&fact, &b, &mut xs, k, &mut ws);
+        sc.solve_many(&fact, &b, &mut xs, k, &mut ws).unwrap();
         for rhs in 0..k {
             let col = &b[rhs * n..(rhs + 1) * n];
-            sc.solve_into(&fact, col, &mut x, &mut ws);
+            sc.solve_into(&fact, col, &mut x, &mut ws).unwrap();
             let reference = solver.solve(col);
             for i in 0..n {
                 assert_eq!(x[i], reference[i], "solve_into rhs {rhs} entry {i}");
@@ -518,8 +647,106 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
         let mut x = vec![0.0; n];
         let mut ws = SolveWorkspace::warm(n, 1);
-        let resid = sc.solve_refined(&fact, &a, &b, &mut x, 3, &mut ws);
+        let resid = sc.solve_refined(&fact, &a, &b, &mut x, 3, &mut ws).unwrap();
         assert!(resid < 1e-9, "refined residual {resid}");
+    }
+
+    #[test]
+    fn solve_dimension_mismatches_are_typed() {
+        let a = laplace2d(6, 3);
+        let n = a.n();
+        let (sc, fact) = staged_default(&a);
+        let mut ws = SolveWorkspace::new();
+        let long = vec![1.0; n + 1];
+        let mut x = vec![0.0; n];
+        assert_eq!(
+            sc.solve_into(&fact, &long, &mut x, &mut ws),
+            Err(SolveError::RhsDimension {
+                expected: n,
+                found: n + 1
+            })
+        );
+        let b = vec![1.0; n];
+        let mut short = vec![0.0; n - 1];
+        assert_eq!(
+            sc.solve_into(&fact, &b, &mut short, &mut ws),
+            Err(SolveError::SolutionDimension {
+                expected: n,
+                found: n - 1
+            })
+        );
+        // Blocked entry point: the expected length scales with k.
+        let mut x2 = vec![0.0; 2 * n];
+        assert_eq!(
+            sc.solve_many(&fact, &b, &mut x2, 2, &mut ws),
+            Err(SolveError::RhsDimension {
+                expected: 2 * n,
+                found: n
+            })
+        );
+        assert_eq!(
+            sc.solve_refined(&fact, &a, &long, &mut x, 2, &mut ws),
+            Err(SolveError::RhsDimension {
+                expected: n,
+                found: n + 1
+            })
+        );
+        // A wrong-dimension matrix is rejected before any sweep runs.
+        let other = laplace2d(7, 3);
+        assert_eq!(
+            sc.solve_refined(&fact, &other, &b, &mut x, 2, &mut ws),
+            Err(SolveError::MatrixDimension {
+                expected: n,
+                found: other.n()
+            })
+        );
+        // A failed call leaves the buffers usable for a correct one.
+        sc.solve_into(&fact, &b, &mut x, &mut ws).unwrap();
+    }
+
+    #[test]
+    fn zero_rhs_and_empty_system_solve_cleanly() {
+        // k = 0: a valid empty request, not an assertion failure.
+        let a = laplace2d(5, 2);
+        let (sc, fact) = staged_default(&a);
+        let mut ws = SolveWorkspace::new();
+        sc.solve_many(&fact, &[], &mut [], 0, &mut ws).unwrap();
+        // n = 0: an empty SPD system end to end — analyze, factor,
+        // every solve entry point.
+        let t = rlchol_sparse::TripletMatrix::new(0, 0);
+        let empty = SymCsc::from_lower_triplets(&t).unwrap();
+        let (sc0, fact0) = staged_default(&empty);
+        sc0.solve_into(&fact0, &[], &mut [], &mut ws).unwrap();
+        sc0.solve_many(&fact0, &[], &mut [], 3, &mut ws).unwrap();
+        let r = sc0
+            .solve_refined(&fact0, &empty, &[], &mut [], 2, &mut ws)
+            .unwrap();
+        assert_eq!(r, 0.0);
+        let info = sc0.solve_info();
+        assert_eq!(info.levels, 0);
+        assert!(!info.level_set);
+    }
+
+    #[test]
+    fn solve_info_reports_plan_and_forced_path() {
+        let a = grid3d(6, 6, 5, Stencil::Star7, 1, 31);
+        let mut sc = SymbolicCholesky::new(
+            &a,
+            &SolverOptions {
+                solve_threads: 4,
+                ..SolverOptions::default()
+            },
+        );
+        let info = sc.solve_info();
+        assert!(info.levels > 1);
+        assert!(info.max_width > 1, "ND-ordered 3-D grid has level width");
+        assert_eq!(info.threads, 4);
+        assert!(
+            info.level_set,
+            "explicit threads > 1 force the level-set path"
+        );
+        sc.set_solve_threads(1);
+        assert!(!sc.solve_info().level_set, "1 thread forces serial");
     }
 
     #[test]

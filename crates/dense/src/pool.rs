@@ -41,6 +41,82 @@ struct Shared {
     signal: Mutex<u64>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// The (at most one) active allocation-free parallel-for.
+    par_for: ForSlot,
+}
+
+/// Coordination state of [`ThreadPool::run_for`]. Everything lives
+/// behind one mutex: claims are cheap (an index bump), and the per-call
+/// protocol never touches the heap — the publishing caller keeps the
+/// closure on its stack, helpers copy the (lifetime-erased) reference
+/// out under the lock, and completion is a counter plus a condvar.
+struct ForSlot {
+    state: Mutex<ForState>,
+    /// Signalled when `done` reaches `n`.
+    finished: Condvar,
+}
+
+struct ForState {
+    /// Lifetime-erased closure of the active parallel-for. The publisher
+    /// blocks until `done == n` before returning, so the reference never
+    /// outlives the borrow it was transmuted from; helpers only read it
+    /// after claiming an index (`next < n`) under the lock.
+    f: Option<&'static (dyn Fn(usize) + Sync)>,
+    active: bool,
+    /// Next unclaimed index.
+    next: usize,
+    /// Total indices of the active call.
+    n: usize,
+    /// Indices whose closure call has returned (or unwound).
+    done: usize,
+    /// First panic payload out of the closure, re-raised by the publisher.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ForSlot {
+    fn new() -> Self {
+        ForSlot {
+            state: Mutex::new(ForState {
+                f: None,
+                active: false,
+                next: 0,
+                n: 0,
+                done: 0,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+        }
+    }
+}
+
+/// Claims and runs indices of the active parallel-for until none remain;
+/// returns whether any index was run. Called by idle workers and by the
+/// publisher itself.
+fn help_par_for(shared: &Shared) -> bool {
+    let mut helped = false;
+    loop {
+        let (f, i) = {
+            let mut st = shared.par_for.state.lock().unwrap();
+            if !st.active || st.next >= st.n {
+                return helped;
+            }
+            let i = st.next;
+            st.next += 1;
+            (st.f.expect("active parallel-for holds its closure"), i)
+        };
+        let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+        let mut st = shared.par_for.state.lock().unwrap();
+        if let Err(p) = r {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+        st.done += 1;
+        if st.done == st.n {
+            shared.par_for.finished.notify_all();
+        }
+        helped = true;
+    }
 }
 
 impl Shared {
@@ -148,6 +224,7 @@ impl ThreadPool {
             signal: Mutex::new(0),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            par_for: ForSlot::new(),
         });
         for w in 0..workers {
             let shared = Arc::clone(&shared);
@@ -221,6 +298,73 @@ impl ThreadPool {
         }
     }
 
+    /// Runs `f(0), f(1), …, f(n - 1)` across the pool and blocks until
+    /// every call has returned. Unlike [`run`](Self::run) this performs
+    /// **no heap allocation**: the closure stays on the caller's stack,
+    /// indices are claimed from a shared counter, and idle workers join
+    /// in through the pool's wake signal — which makes it the right
+    /// primitive for steady-state hot paths (the level-set triangular
+    /// solves) that must stay allocation-free after warm-up.
+    ///
+    /// Calls are *claimed* in ascending index order but may run
+    /// concurrently; `f` must make concurrent calls safe (e.g. by
+    /// writing disjoint targets per index). At most one `run_for` is
+    /// active per pool at a time — a second concurrent (or nested) call
+    /// simply runs its indices inline on the caller, which is always
+    /// correct because the contract already requires index independence.
+    /// Panics from `f` are collected and the first is re-raised here
+    /// after all indices finish.
+    pub fn run_for<'env>(&self, n: usize, f: &(dyn Fn(usize) + Sync + 'env)) {
+        let inline = |f: &(dyn Fn(usize) + Sync + 'env)| {
+            for i in 0..n {
+                f(i);
+            }
+        };
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n == 1 {
+            return inline(f);
+        }
+        // Erase 'env: the wait below keeps the borrow alive until every
+        // claimed index has finished running.
+        let f_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        {
+            let mut st = self.shared.par_for.state.lock().unwrap();
+            if st.active {
+                // Another parallel-for is in flight (concurrent callers,
+                // or a nested call from inside `f`): run inline.
+                drop(st);
+                return inline(f);
+            }
+            st.active = true;
+            st.f = Some(f_static);
+            st.next = 0;
+            st.n = n;
+            st.done = 0;
+            st.panic = None;
+        }
+        // Wake parked workers so they find the published slot.
+        let mut epoch = self.shared.signal.lock().unwrap();
+        *epoch += 1;
+        drop(epoch);
+        self.shared.wake.notify_all();
+        // Participate, then wait for helpers still running their claims.
+        help_par_for(&self.shared);
+        let mut st = self.shared.par_for.state.lock().unwrap();
+        while st.done < st.n {
+            st = self.shared.par_for.finished.wait(st).unwrap();
+        }
+        st.active = false;
+        st.f = None;
+        let panic = st.panic.take();
+        drop(st);
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+
     /// Pops and runs one pending job, if any; returns whether a job ran.
     /// Lets a caller that is waiting on its own condition (e.g. the tree
     /// scheduler with an empty ready queue) lend its lane to pending BLAS
@@ -263,12 +407,25 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         match shared.pop(Some(index)) {
             Some(job) => (job.0)(),
             None => {
+                if help_par_for(&shared) {
+                    continue;
+                }
                 let epoch = shared.signal.lock().unwrap();
                 let seen = *epoch;
                 // Re-check under the signal lock so a push between our
                 // failed pop and this wait cannot be lost.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                // A parallel-for published between our failed help
+                // attempt and this lock already bumped the epoch, so
+                // recording the bump as `seen` would sleep through its
+                // whole run; re-check the slot before waiting.
+                {
+                    let st = shared.par_for.state.lock().unwrap();
+                    if st.active && st.next < st.n {
+                        continue;
+                    }
                 }
                 let _ = shared
                     .wake
@@ -398,6 +555,80 @@ mod tests {
                 })
                 .collect(),
         );
+        assert_eq!(after.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn run_for_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_for(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn run_for_writes_disjoint_borrowed_chunks() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0usize; 60];
+        let chunks: Vec<std::sync::Mutex<&mut [usize]>> =
+            data.chunks_mut(7).map(std::sync::Mutex::new).collect();
+        pool.run_for(chunks.len(), &|i| {
+            for v in chunks[i].lock().unwrap().iter_mut() {
+                *v = i + 1;
+            }
+        });
+        drop(chunks);
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[59], 60usize.div_ceil(7));
+    }
+
+    #[test]
+    fn run_for_single_lane_and_empty_run_inline() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run_for(5, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        pool.run_for(0, &|_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn nested_run_for_falls_back_inline() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.run_for(4, &|_| {
+            pool.run_for(5, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn run_for_panic_propagates_after_all_indices_finish() {
+        let pool = ThreadPool::new(4);
+        let done = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_for(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(r.is_err(), "panic must surface to the publisher");
+        assert_eq!(done.load(Ordering::SeqCst), 7, "other indices still ran");
+        // The slot is released: the pool keeps working.
+        let after = AtomicUsize::new(0);
+        pool.run_for(3, &|_| {
+            after.fetch_add(1, Ordering::SeqCst);
+        });
         assert_eq!(after.load(Ordering::SeqCst), 3);
     }
 

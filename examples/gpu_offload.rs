@@ -73,6 +73,7 @@ fn main() {
         threshold,
         overlap: true,
         streams: 0,
+        assign: None,
     };
     println!("\nGPU-accelerated engines (threshold = {threshold}, overlap on):");
     let runs = [

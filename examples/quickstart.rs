@@ -62,7 +62,9 @@ fn main() {
 
     let mut x = vec![0.0; n];
     let mut ws = SolveWorkspace::warm(n, 1);
-    let resid = handle.solve_refined(&fact, &a, &b, &mut x, 2, &mut ws);
+    let resid = handle
+        .solve_refined(&fact, &a, &b, &mut x, 2, &mut ws)
+        .expect("b is sized to the system");
     let err = x
         .iter()
         .zip(&x_true)

@@ -59,7 +59,9 @@ fn main() {
         let b: Vec<f64> = (0..n * NRHS)
             .map(|i| ((i * 29 + step * 7) % 23) as f64 - 11.0)
             .collect();
-        handle.solve_many(&fact, &b, &mut x, NRHS, &mut ws);
+        handle
+            .solve_many(&fact, &b, &mut x, NRHS, &mut ws)
+            .expect("blocks are sized to the system");
 
         // Residual check on the first RHS.
         let mut ax = vec![0.0; n];

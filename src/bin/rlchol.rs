@@ -33,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
          [--method {}] \
-         [--ordering nd|md|rcm|natural] [--size N]",
+         [--ordering nd|md|rcm|natural] [--solve-threads N] [--size N]",
         method_names()
     );
     std::process::exit(2);
@@ -45,6 +45,7 @@ struct Args {
     method: Method,
     ordering: OrderingMethod,
     size: usize,
+    solve_threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -54,6 +55,7 @@ fn parse_args() -> Args {
     let mut method = Method::RlCpu;
     let mut ordering = OrderingMethod::NestedDissection;
     let mut size = 40usize;
+    let mut solve_threads = 0usize;
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -73,6 +75,7 @@ fn parse_args() -> Args {
                 }
             }
             "--size" => size = value.parse().unwrap_or_else(|_| usage()),
+            "--solve-threads" => solve_threads = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -82,6 +85,7 @@ fn parse_args() -> Args {
         method,
         ordering,
         size,
+        solve_threads,
     }
 }
 
@@ -104,7 +108,9 @@ fn solver_options(args: &Args) -> SolverOptions {
             threshold: 12_000,
             overlap: true,
             streams: 0,
+            assign: None,
         },
+        solve_threads: args.solve_threads,
         ..SolverOptions::default()
     }
 }
@@ -182,9 +188,25 @@ fn main() {
             let ones = vec![1.0; n];
             let mut b = vec![0.0; n];
             a.matvec(&ones, &mut b);
+            let info = handle.solve_info();
+            println!(
+                "solve plan: {} levels, max width {}; path: {}",
+                info.levels,
+                info.max_width,
+                if info.level_set {
+                    format!("level-set ({} threads)", info.threads)
+                } else {
+                    "serial".to_string()
+                }
+            );
             let mut x = vec![0.0; n];
             let mut ws = SolveWorkspace::warm(n, 1);
-            let resid = handle.solve_refined(&fact, &a, &b, &mut x, 2, &mut ws);
+            let resid = handle
+                .solve_refined(&fact, &a, &b, &mut x, 2, &mut ws)
+                .unwrap_or_else(|e| {
+                    eprintln!("rlchol: solve failed: {e}");
+                    std::process::exit(1);
+                });
             let err = x.iter().fold(0.0f64, |m, &v| m.max((v - 1.0).abs()));
             println!("solve: max |x - 1| = {err:.3e}, refined residual = {resid:.3e}");
         }

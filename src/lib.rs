@@ -23,7 +23,11 @@
 //! factor reallocation), and solves run in caller buffers with zero
 //! per-call heap allocation ([`SymbolicCholesky::solve_into`],
 //! [`SymbolicCholesky::solve_many`],
-//! [`SymbolicCholesky::solve_refined`]):
+//! [`SymbolicCholesky::solve_refined`]). Solves follow a
+//! [`SolvePlan`](core::solve::SolvePlan) cached on the handle: level
+//! sets of the elimination tree that let the forward/backward sweeps
+//! run tree-parallel on wide trees — bit-identical to the serial sweeps
+//! at any thread count (see `core::solve`):
 //!
 //! ```
 //! use rlchol::{CholeskySolver, SolveWorkspace, SolverOptions};
@@ -44,7 +48,7 @@
 //! let mut ws = SolveWorkspace::warm(n, 1);
 //! let b = vec![1.0; n];
 //! let mut x = vec![0.0; n];
-//! handle.solve_into(&fact, &b, &mut x, &mut ws);
+//! handle.solve_into(&fact, &b, &mut x, &mut ws).unwrap();
 //!
 //! // Check the residual of A1 x = b.
 //! let mut ax = vec![0.0; n];
@@ -85,25 +89,31 @@
 //! | [`core`] | engines + registry, staged solver, hybrid dispatch, solves |
 //! | [`report`] | performance profiles, tables, plots |
 //!
-//! ## Threads and streams
+//! ## Threads, streams and solve lanes
 //!
 //! The task-parallel engines ([`Method::RlCpuPar`], [`Method::RlbCpuPar`])
 //! and the striped dense kernels share one persistent work-stealing pool;
 //! the pipelined GPU engines ([`Method::RlGpuPipe`], [`Method::RlbGpuPipe`])
-//! dispatch ready supernodes onto simulated compute/copy stream pairs.
-//! Sizing follows one precedence rule, resolved when
-//! [`CholeskySolver::analyze`] builds the handle's engine workspace:
+//! dispatch ready supernodes onto simulated compute/copy stream pairs
+//! (assignment policy via `RLCHOL_STREAM_ASSIGN={rr,ll}`); the level-set
+//! triangular solves dispatch each level of the solve plan onto the same
+//! pool. Sizing follows one precedence rule, resolved when
+//! [`CholeskySolver::analyze`] builds the handle:
 //!
 //! 1. An explicit nonzero [`SolverOptions::threads`] /
+//!    [`SolverOptions::solve_threads`] /
 //!    [`GpuOptions::streams`](core::engine::GpuOptions::streams) wins.
-//! 2. A zero defers to the **`RLCHOL_THREADS`** / **`RLCHOL_STREAMS`**
-//!    environment variable (positive integer), read at use.
+//! 2. A zero defers to the **`RLCHOL_THREADS`** /
+//!    **`RLCHOL_SOLVE_THREADS`** / **`RLCHOL_STREAMS`** environment
+//!    variable (positive integer).
 //! 3. Unset environment falls back to
-//!    [`std::thread::available_parallelism`] (threads) / the runtime
-//!    default of 2 (stream pairs).
+//!    [`std::thread::available_parallelism`] (threads, solve lanes —
+//!    solves additionally stay serial below a small-system cutoff) /
+//!    the runtime default of 2 (stream pairs).
 //!
 //! One lane / one pair degenerates to the serial / single-stream
-//! schedule, bit-exactly.
+//! schedule, bit-exactly — and the level-set solves are bit-identical
+//! to serial at *any* lane count, so the setting is purely about speed.
 
 pub use rlchol_core as core;
 pub use rlchol_dense as dense;

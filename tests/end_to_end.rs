@@ -25,6 +25,7 @@ fn gpu_opts(threshold: usize) -> GpuOptions {
         threshold,
         overlap: true,
         streams: 0,
+        assign: None,
     }
 }
 

@@ -26,6 +26,7 @@ fn opts(threshold: usize) -> GpuOptions {
         threshold,
         overlap: true,
         streams: 0,
+        assign: None,
     }
 }
 

@@ -3,7 +3,7 @@
 //! count, device memory pressure must shed stream pairs before failing,
 //! and numeric failures must propagate cleanly out of the pipeline.
 
-use rlchol::core::engine::GpuOptions;
+use rlchol::core::engine::{GpuOptions, StreamAssign};
 use rlchol::core::gpu_rl::factor_rl_gpu;
 use rlchol::core::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
 use rlchol::core::sched::{factor_rl_gpu_pipe, factor_rlb_gpu_pipe};
@@ -26,7 +26,9 @@ fn prepared(a: &SymCsc) -> (SymbolicFactor, SymCsc) {
 }
 
 /// Pipelined RL/RLB against their single-stream engines, bitwise, over
-/// the stream sweep and a CPU/GPU-mixing threshold.
+/// the stream sweep, a CPU/GPU-mixing threshold, and both stream-pair
+/// assignment policies (in-order retirement makes the factor
+/// independent of where each supernode's device work ran).
 fn check_bit_identical(a: &SymCsc, label: &str) {
     let (sym, ap) = prepared(a);
     for threshold in [0usize, 300] {
@@ -34,18 +36,20 @@ fn check_bit_identical(a: &SymCsc, label: &str) {
         let rl = factor_rl_gpu(&sym, &ap, &opts).unwrap();
         let rlb = factor_rlb_gpu(&sym, &ap, &opts, RlbGpuVersion::V1).unwrap();
         for streams in STREAM_SWEEP {
-            let o = opts.with_streams(streams);
-            let rl_pipe = factor_rl_gpu_pipe(&sym, &ap, &o).unwrap();
-            assert_eq!(rl_pipe.streams_used, streams, "{label} thr {threshold}");
-            assert_eq!(
-                rl.factor.sn, rl_pipe.factor.sn,
-                "{label}: RL thr {threshold} streams {streams} not bit-identical"
-            );
-            let rlb_pipe = factor_rlb_gpu_pipe(&sym, &ap, &o).unwrap();
-            assert_eq!(
-                rlb.factor.sn, rlb_pipe.factor.sn,
-                "{label}: RLB thr {threshold} streams {streams} not bit-identical"
-            );
+            for assign in [StreamAssign::RoundRobin, StreamAssign::LeastLoaded] {
+                let o = opts.with_streams(streams).with_assign(assign);
+                let rl_pipe = factor_rl_gpu_pipe(&sym, &ap, &o).unwrap();
+                assert_eq!(rl_pipe.streams_used, streams, "{label} thr {threshold}");
+                assert_eq!(
+                    rl.factor.sn, rl_pipe.factor.sn,
+                    "{label}: RL thr {threshold} streams {streams} {assign:?} not bit-identical"
+                );
+                let rlb_pipe = factor_rlb_gpu_pipe(&sym, &ap, &o).unwrap();
+                assert_eq!(
+                    rlb.factor.sn, rlb_pipe.factor.sn,
+                    "{label}: RLB thr {threshold} streams {streams} {assign:?} not bit-identical"
+                );
+            }
         }
     }
 }

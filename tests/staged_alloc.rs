@@ -51,6 +51,16 @@ fn count_allocs(f: impl FnOnce()) -> usize {
     ALLOCS.load(Ordering::SeqCst)
 }
 
+/// Lets freshly spawned pool workers finish their one-time thread
+/// startup (which allocates) before counting begins. On a single-CPU
+/// host the children may not have been scheduled at all until the main
+/// thread yields, so a plain warm-up call is not enough.
+fn settle_pool() {
+    if rlchol::dense::pool::global().threads() > 1 {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
 #[test]
 fn solves_are_allocation_free_after_warm_up() {
     let a = grid3d(6, 5, 4, Stencil::Star7, 1, 11);
@@ -65,16 +75,21 @@ fn solves_are_allocation_free_after_warm_up() {
     let mut ws = SolveWorkspace::new();
 
     // Warm-up: the workspace buffers grow to their steady-state sizes.
-    handle.solve_into(&fact, &b[..n], &mut x, &mut ws);
-    handle.solve_many(&fact, &b, &mut xs, k, &mut ws);
-    handle.solve_refined(&fact, &a, &b[..n], &mut x, 2, &mut ws);
+    handle.solve_into(&fact, &b[..n], &mut x, &mut ws).unwrap();
+    handle.solve_many(&fact, &b, &mut xs, k, &mut ws).unwrap();
+    handle
+        .solve_refined(&fact, &a, &b[..n], &mut x, 2, &mut ws)
+        .unwrap();
+    settle_pool();
 
     // Steady state: repeated solves must not touch the heap.
     let allocs = count_allocs(|| {
         for _ in 0..5 {
-            handle.solve_into(&fact, &b[..n], &mut x, &mut ws);
-            handle.solve_many(&fact, &b, &mut xs, k, &mut ws);
-            handle.solve_refined(&fact, &a, &b[..n], &mut x, 2, &mut ws);
+            handle.solve_into(&fact, &b[..n], &mut x, &mut ws).unwrap();
+            handle.solve_many(&fact, &b, &mut xs, k, &mut ws).unwrap();
+            handle
+                .solve_refined(&fact, &a, &b[..n], &mut x, 2, &mut ws)
+                .unwrap();
         }
     });
     assert_eq!(
@@ -86,11 +101,68 @@ fn solves_are_allocation_free_after_warm_up() {
     // very first call.
     let mut warm_ws = SolveWorkspace::warm(n, k);
     let allocs = count_allocs(|| {
-        handle.solve_into(&fact, &b[..n], &mut x, &mut warm_ws);
-        handle.solve_many(&fact, &b, &mut xs, k, &mut warm_ws);
+        handle
+            .solve_into(&fact, &b[..n], &mut x, &mut warm_ws)
+            .unwrap();
+        handle
+            .solve_many(&fact, &b, &mut xs, k, &mut warm_ws)
+            .unwrap();
     });
     assert_eq!(
         allocs, 0,
         "warm workspace allocated {allocs} times on first use"
+    );
+
+    // The level-set (tree-parallel) solve path must be equally
+    // allocation-free: chunks come from the plan's precomputed prefix
+    // sums and the pool's `run_for` parallel-for never boxes a task.
+    let a_par = grid3d(8, 8, 6, Stencil::Star7, 1, 12);
+    let n_par = a_par.n();
+    let handle_par = CholeskySolver::analyze(
+        &a_par,
+        &SolverOptions {
+            solve_threads: 4,
+            ..SolverOptions::default()
+        },
+    );
+    let info = handle_par.solve_info();
+    assert!(
+        info.level_set && info.max_width > 1,
+        "test matrix must engage the level-set path (got {info:?})"
+    );
+    let fact_par = handle_par.factor_with(&a_par).expect("SPD input");
+    let bp: Vec<f64> = (0..n_par * k)
+        .map(|i| ((i * 7) % 43) as f64 - 21.0)
+        .collect();
+    let mut xp = vec![0.0; n_par];
+    let mut xsp = vec![0.0; n_par * k];
+    let mut ws_par = SolveWorkspace::new();
+    // Warm-up also spawns the pool's workers on first use.
+    handle_par
+        .solve_into(&fact_par, &bp[..n_par], &mut xp, &mut ws_par)
+        .unwrap();
+    handle_par
+        .solve_many(&fact_par, &bp, &mut xsp, k, &mut ws_par)
+        .unwrap();
+    handle_par
+        .solve_refined(&fact_par, &a_par, &bp[..n_par], &mut xp, 2, &mut ws_par)
+        .unwrap();
+    settle_pool();
+    let allocs = count_allocs(|| {
+        for _ in 0..5 {
+            handle_par
+                .solve_into(&fact_par, &bp[..n_par], &mut xp, &mut ws_par)
+                .unwrap();
+            handle_par
+                .solve_many(&fact_par, &bp, &mut xsp, k, &mut ws_par)
+                .unwrap();
+            handle_par
+                .solve_refined(&fact_par, &a_par, &bp[..n_par], &mut xp, 2, &mut ws_par)
+                .unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "level-set solve path allocated {allocs} times after warm-up"
     );
 }
