@@ -1,0 +1,137 @@
+//! Lane-count sweep for `batch_factor`: batch throughput of one shared
+//! `SymbolicCholesky` handle as its workspace-lane cap grows, on a
+//! nested-dissection-ordered 3-D grid.
+//!
+//! Measures the tentpole of the lane pool: a batch of same-pattern
+//! value sets fanned across `rlchol_dense::pool`, with the lane cap
+//! limiting how many factorizations are in flight. One lane serializes
+//! (the pre-pool behavior behind the old workspace lock); the sweep
+//! shows how throughput and checkout contention move as lanes open up.
+//! Results are bit-identical at every lane count, so the sweep is
+//! purely about wall clock.
+//!
+//! Prints a table and writes `BENCH_batch_factor.json` so successive
+//! PRs can track the curve. **Note:** on a 1-CPU container the pool has
+//! one worker and every row degenerates to serial execution — rerun on
+//! a multicore host for a real curve.
+//!
+//! Usage: `batch_factor [k] [out.json]` — `k` is the grid edge (default
+//! 12; use a smaller k for a quick smoke run).
+
+use std::time::Instant;
+
+use rlchol_core::{CholeskySolver, Method, SolverOptions, SymbolicCholesky};
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_sparse::SymCsc;
+
+const LANE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 16;
+const REPS: usize = 3;
+const PATTERN_SEED: u64 = 91;
+
+fn run_batch(handle: &SymbolicCholesky, refs: &[&SymCsc]) -> f64 {
+    let t0 = Instant::now();
+    let results = handle.batch_factor(refs);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(results.iter().all(|r| r.is_ok()), "SPD batch must factor");
+    // Return storage so later rounds run the recycled steady state.
+    for r in results {
+        handle.recycle(r.expect("checked above"));
+    }
+    dt
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args
+        .next()
+        .map(|v| v.parse().expect("grid edge must be an integer"))
+        .unwrap_or(12);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_batch_factor.json".to_string());
+
+    let name = format!("grid3d({k}, {k}, {k}, Star7)");
+    eprintln!("generating {name} + {BATCH} value sets ...");
+    let a0 = grid3d(k, k, k, Stencil::Star7, 1, PATTERN_SEED);
+    let sets: Vec<SymCsc> = (0..BATCH)
+        .map(|i| grid3d(k, k, k, Stencil::Star7, 1, PATTERN_SEED + 1 + i as u64))
+        .collect();
+    let refs: Vec<&SymCsc> = sets.iter().collect();
+
+    let pool_threads = rlchol_dense::pool::global().threads();
+    eprintln!("pool threads: {pool_threads} (concurrency = min(lanes, threads))");
+
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>10}  {:>10}",
+        "lanes", "batch ms", "fac/s", "peak", "contended"
+    );
+    let mut rows = Vec::new();
+    let mut serial_s = 0.0;
+    for lanes in LANE_SWEEP {
+        let opts = SolverOptions {
+            method: Method::RlbCpu,
+            factor_lanes: lanes,
+            ..SolverOptions::default()
+        };
+        let handle = CholeskySolver::analyze(&a0, &opts);
+        run_batch(&handle, &refs); // warm-up: lanes, scratch, bins
+        let mut total = 0.0;
+        for _ in 0..REPS {
+            total += run_batch(&handle, &refs);
+        }
+        let per_batch = total / REPS as f64;
+        if lanes == 1 {
+            serial_s = per_batch;
+        }
+        let stats = handle.lane_stats();
+        let throughput = BATCH as f64 / per_batch;
+        println!(
+            "{lanes:>6}  {:>12.3}  {throughput:>12.1}  {:>10}  {:>10}",
+            per_batch * 1e3,
+            stats.peak_in_use,
+            stats.contended
+        );
+        rows.push(format!(
+            "    {{\"lanes\": {lanes}, \"batch_s\": {per_batch:.9}, \
+             \"fac_per_s\": {throughput:.3}, \"speedup_vs_1\": {:.4}, \
+             \"peak_in_use\": {}, \"contended\": {}}}",
+            serial_s / per_batch,
+            stats.peak_in_use,
+            stats.contended
+        ));
+    }
+
+    let sym_handle = CholeskySolver::analyze(
+        &a0,
+        &SolverOptions {
+            method: Method::RlbCpu,
+            ..SolverOptions::default()
+        },
+    );
+    let sym = sym_handle.symbolic();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"matrix\": \"{}\",\n",
+            "  \"n\": {},\n",
+            "  \"supernodes\": {},\n",
+            "  \"factor_nnz\": {},\n",
+            "  \"method\": \"{}\",\n",
+            "  \"batch\": {},\n",
+            "  \"pool_threads\": {},\n",
+            "  \"lane_sweep\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        name,
+        sym.n,
+        sym.nsup(),
+        sym.nnz,
+        Method::RlbCpu.label(),
+        BATCH,
+        pool_threads,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("writing batch_factor JSON");
+    eprintln!("wrote {out_path}");
+}

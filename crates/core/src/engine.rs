@@ -162,6 +162,16 @@ pub fn best_cpu_time(rl: &CpuRun, rlb: &CpuRun) -> (f64, Method, usize) {
     }
 }
 
+/// Parses an environment variable as a positive integer — the shared
+/// shape of every `RLCHOL_*` sizing knob (`None` when unset, empty,
+/// non-numeric, or zero).
+pub(crate) fn env_positive(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 /// How the pipelined engines assign ready supernodes to compute/copy
 /// stream pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,6 +250,30 @@ impl GpuOptions {
     pub fn with_assign(mut self, assign: StreamAssign) -> Self {
         self.assign = Some(assign);
         self
+    }
+
+    /// The stream-pair count with the fallback chain applied: an
+    /// explicit nonzero [`streams`](Self::streams) wins, else
+    /// `RLCHOL_STREAMS`, else the runtime default. The staged handle's
+    /// workspace lanes call this once at construction so every lane
+    /// carries explicit, stable stream options (environment reads
+    /// allocate, and concurrent lanes must not re-resolve mid-flight).
+    pub fn resolved_streams(&self) -> usize {
+        if self.streams > 0 {
+            self.streams
+        } else {
+            rlchol_gpu::default_streams()
+        }
+    }
+
+    /// The assignment policy with the fallback chain applied:
+    /// [`assign`](Self::assign), else `RLCHOL_STREAM_ASSIGN`, else
+    /// round-robin. Resolved per lane like
+    /// [`resolved_streams`](Self::resolved_streams).
+    pub fn resolved_assign(&self) -> StreamAssign {
+        self.assign
+            .or_else(StreamAssign::from_env)
+            .unwrap_or(StreamAssign::RoundRobin)
     }
 }
 

@@ -131,3 +131,109 @@ impl From<GpuError> for FactorError {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every variant of both error types, with distinctive payloads.
+    /// Keeping the lists here (rather than sampling one variant) makes
+    /// adding a variant without a Display arm a compile error and
+    /// without a payload check a test failure.
+    fn factor_variants() -> Vec<(FactorError, &'static [&'static str])> {
+        vec![
+            (
+                FactorError::NotPositiveDefinite { column: 17 },
+                &["positive definite", "17"],
+            ),
+            (
+                FactorError::PatternMismatch {
+                    column: 3,
+                    expected_nnz: 41,
+                    found_nnz: 39,
+                },
+                &["pattern", "column 3", "41", "39"],
+            ),
+            (
+                FactorError::GpuOutOfMemory {
+                    requested_bytes: 1_000_000,
+                    capacity_bytes: 65_536,
+                },
+                &["out of memory", "1000000", "65536"],
+            ),
+            (
+                FactorError::Gpu("stream 2 failed".to_string()),
+                &["GPU", "stream 2 failed"],
+            ),
+        ]
+    }
+
+    fn solve_variants() -> Vec<(SolveError, &'static [&'static str])> {
+        vec![
+            (
+                SolveError::RhsDimension {
+                    expected: 100,
+                    found: 99,
+                },
+                &["right-hand side", "100", "99"],
+            ),
+            (
+                SolveError::SolutionDimension {
+                    expected: 100,
+                    found: 0,
+                },
+                &["solution", "100", "0"],
+            ),
+            (
+                SolveError::MatrixDimension {
+                    expected: 100,
+                    found: 7,
+                },
+                &["matrix", "100", "7"],
+            ),
+        ]
+    }
+
+    /// Every variant's Display output carries its payload — the context
+    /// a `batch_factor` caller (or anyone boxing the error) relies on.
+    #[test]
+    fn every_variant_formats_with_full_context() {
+        for (err, needles) in factor_variants() {
+            let msg = format!("{err}");
+            for needle in needles {
+                assert!(msg.contains(needle), "{err:?}: `{msg}` lacks `{needle}`");
+            }
+            // Context survives type erasure (Box<dyn Error>, the shape
+            // errors take when bubbled out of a serving loop).
+            let boxed: Box<dyn std::error::Error> = Box::new(err.clone());
+            assert_eq!(boxed.to_string(), msg);
+        }
+        for (err, needles) in solve_variants() {
+            let msg = format!("{err}");
+            for needle in needles {
+                assert!(msg.contains(needle), "{err:?}: `{msg}` lacks `{needle}`");
+            }
+            let boxed: Box<dyn std::error::Error> = Box::new(err);
+            assert_eq!(boxed.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn gpu_errors_convert_without_losing_detail() {
+        let oom: FactorError = GpuError::OutOfMemory {
+            requested_bytes: 9,
+            capacity_bytes: 5,
+            used_bytes: 4,
+        }
+        .into();
+        assert_eq!(
+            oom,
+            FactorError::GpuOutOfMemory {
+                requested_bytes: 9,
+                capacity_bytes: 5
+            }
+        );
+        let numerical: FactorError = GpuError::Numerical("pivot 12 not positive".into()).into();
+        assert!(format!("{numerical}").contains("pivot 12 not positive"));
+    }
+}

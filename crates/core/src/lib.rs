@@ -46,6 +46,14 @@
 //!   tree-parallel forward/backward sweeps (`RLCHOL_SOLVE_THREADS`
 //!   lanes) that are bit-identical to the serial reference at any
 //!   thread count.
+//! * **Lane-pooled concurrent factorization** ([`staged::lanes`]) — a
+//!   [`SymbolicCholesky`](staged::SymbolicCholesky) handle is
+//!   `Send + Sync` and owns `RLCHOL_FACTOR_LANES` independent engine
+//!   workspaces, so many threads factor different value sets of one
+//!   pattern concurrently (or
+//!   [`batch_factor`](staged::SymbolicCholesky::batch_factor) fans a
+//!   batch across the lanes), each result bit-identical to the serial
+//!   path.
 //!
 //! The [`solver::CholeskySolver`] ties ordering, symbolic analysis,
 //! numeric factorization and triangular solves into the end-to-end
@@ -74,5 +82,6 @@ pub use registry::{engine_for, EngineRun, EngineWorkspace, FactorInfo, NumericEn
 pub use sched::{factor_rl_cpu_par, factor_rl_gpu_pipe, factor_rlb_cpu_par, factor_rlb_gpu_pipe};
 pub use solve::{SolveInfo, SolvePlan};
 pub use solver::{CholeskySolver, SolverOptions};
+pub use staged::lanes::LaneStats;
 pub use staged::{Factorization, SolveWorkspace, SymbolicCholesky};
 pub use storage::FactorData;

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use rlchol_dense::gemm_nt;
-use rlchol_perfmodel::{Trace, TraceOp};
+use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::relind::relative_indices;
 use rlchol_symbolic::SymbolicFactor;
@@ -44,22 +44,22 @@ pub fn factor_ll_cpu_ws(
 ) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
     let mut data = ws.take_factor(sym, a);
-    let mut trace = Trace::new();
+    let mut trace = ws.take_trace();
     let nsup = sym.nsup();
     let mut l11 = Vec::new();
     // pending[j]: descendants whose next unconsumed row segment starts in
     // supernode j, as (descendant, segment start offset into its rows).
     let mut pending: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nsup];
-    // Workspace sized for the largest (rows x segment) update block.
+    // Workspace sized for the largest (rows x segment) update block. A
+    // segment holds a descendant's rows inside ONE target supernode, so
+    // it is bounded by the widest supernode — not by the descendant's
+    // widest row block (amalgamated targets can swallow several blocks,
+    // which undersized this buffer and overflowed the GEMM below).
+    let max_ncols = (0..nsup).map(|s| sym.sn_ncols(s)).max().unwrap_or(0);
     let max_w = (0..nsup)
         .map(|s| {
             let r = sym.rows[s].len();
-            r * sym.blocks[s]
-                .iter()
-                .map(|b| b.len)
-                .max()
-                .unwrap_or(0)
-                .min(r)
+            r * r.min(max_ncols)
         })
         .max()
         .unwrap_or(0);

@@ -21,7 +21,7 @@
 use std::time::Instant;
 
 use rlchol_dense::syrk_ln;
-use rlchol_perfmodel::{Trace, TraceOp};
+use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::relind::relative_indices;
 use rlchol_symbolic::SymbolicFactor;
@@ -64,7 +64,7 @@ pub fn factor_multifrontal_cpu_ws(
 ) -> Result<MultifrontalRun, FactorError> {
     let t0 = Instant::now();
     let mut data = ws.take_factor(sym, a);
-    let mut trace = Trace::new();
+    let mut trace = ws.take_trace();
     let nsup = sym.nsup();
     // The postorder property of the factor ordering guarantees each
     // parent directly follows all of its children's updates on the stack

@@ -23,7 +23,7 @@
 use std::time::Duration;
 
 use rlchol_gpu::GpuStats;
-use rlchol_perfmodel::Trace;
+use rlchol_perfmodel::{Trace, TraceOp};
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
 
@@ -108,6 +108,11 @@ pub struct EngineWorkspace {
     pub(crate) upd: Vec<f64>,
     /// Diagonal-block copy scratch shared by the serial panel kernels.
     pub(crate) l11: Vec<f64>,
+    /// Recycled trace buffer: [`take_trace`](Self::take_trace) hands it
+    /// to the engine, the lane pool restocks it from factorizations
+    /// returned through `SymbolicCholesky::recycle` — so the serial CPU
+    /// engines' trace recording allocates nothing at steady state.
+    pub(crate) trace_ops: Vec<TraceOp>,
 }
 
 impl EngineWorkspace {
@@ -153,6 +158,37 @@ impl EngineWorkspace {
     /// [`take_factor`](Self::take_factor) call.
     pub fn recycle(&mut self, data: FactorData) {
         self.recycle = Some(data);
+    }
+
+    /// Whether recycled factor storage is already staged (the lane pool
+    /// skips restocking from its shared bin when it is).
+    pub fn has_recycled_factor(&self) -> bool {
+        self.recycle.is_some()
+    }
+
+    /// Removes and returns the staged recycled storage, if any (the
+    /// lane pool salvages it from overflow lanes before dropping them).
+    pub fn take_recycled(&mut self) -> Option<FactorData> {
+        self.recycle.take()
+    }
+
+    /// An empty [`Trace`] backed by the workspace's recycled buffer, so
+    /// steady-state trace recording performs no heap allocation. The
+    /// trace leaves with the engine's run; its buffer flows back through
+    /// [`recycle_trace`](Self::recycle_trace) or the lane pool's bin.
+    pub fn take_trace(&mut self) -> Trace {
+        let mut ops = std::mem::take(&mut self.trace_ops);
+        ops.clear();
+        Trace { ops }
+    }
+
+    /// Returns a trace's buffer for reuse by the next
+    /// [`take_trace`](Self::take_trace) call (keeps the larger of the
+    /// two buffers).
+    pub fn recycle_trace(&mut self, trace: Trace) {
+        if trace.ops.capacity() > self.trace_ops.capacity() {
+            self.trace_ops = trace.ops;
+        }
     }
 
     /// Grows (never shrinks) the RL update workspace to `entries`.

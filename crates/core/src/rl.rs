@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use rlchol_dense::syrk_ln;
-use rlchol_perfmodel::{Trace, TraceOp};
+use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
 
@@ -32,7 +32,7 @@ pub fn factor_rl_cpu_ws(
 ) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
     let mut data = ws.take_factor(sym, a);
-    let mut trace = Trace::new();
+    let mut trace = ws.take_trace();
     // "The temporary working storage is preallocated so that it can store
     // the largest update matrix during the factorization." (§II-A)
     let rmax2 = sym.max_update_matrix_entries();

@@ -21,7 +21,7 @@
 use std::time::Instant;
 
 use rlchol_dense::{gemm_nt, syrk_ln};
-use rlchol_perfmodel::{Trace, TraceOp};
+use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::relind::relative_index_of;
 use rlchol_symbolic::SymbolicFactor;
@@ -155,7 +155,7 @@ pub fn factor_rlb_cpu_ws(
 ) -> Result<CpuRun, FactorError> {
     let t0 = Instant::now();
     let mut data = ws.take_factor(sym, a);
-    let mut trace = Trace::new();
+    let mut trace = ws.take_trace();
 
     for s in 0..sym.nsup() {
         let c = sym.sn_ncols(s);

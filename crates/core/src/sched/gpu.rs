@@ -47,7 +47,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use rlchol_dense::syrk_ln;
-use rlchol_gpu::{default_streams, Buffer, Event, Gpu, StreamId};
+use rlchol_gpu::{Buffer, Event, Gpu, StreamId};
 use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
@@ -184,11 +184,7 @@ fn run_pipeline(
         })
         .max()
         .unwrap_or(0);
-    let requested = if opts.streams == 0 {
-        default_streams()
-    } else {
-        opts.streams
-    };
+    let requested = opts.resolved_streams();
     let ctxs = alloc_stream_pairs(&gpu, requested.max(1), max_panel, max_upd)?;
     let nstreams = ctxs.len();
     let mut ctxs = ctxs;
@@ -207,11 +203,10 @@ fn run_pipeline(
     // Pair assignment: round-robin unless opts / RLCHOL_STREAM_ASSIGN
     // select least-loaded. Either way retirement below stays in
     // ascending order, so the factor is identical; the policy only
-    // changes which pair's queue each supernode waits in.
-    let assign = opts
-        .assign
-        .or_else(StreamAssign::from_env)
-        .unwrap_or(StreamAssign::RoundRobin);
+    // changes which pair's queue each supernode waits in. (Workspace
+    // lanes pre-resolve both the policy and the pair count, so
+    // concurrent lane factorizations never hit the env fallbacks here.)
+    let assign = opts.resolved_assign();
     let mut rr = 0usize; // round-robin stream cursor
                          // Issued-but-unretired supernodes per pair (least-loaded policy).
     let mut pair_load = vec![0usize; nstreams];

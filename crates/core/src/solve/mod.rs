@@ -68,8 +68,5 @@ pub struct SolveInfo {
 
 /// `RLCHOL_SOLVE_THREADS` if set to a positive integer.
 pub(crate) fn env_solve_threads() -> Option<usize> {
-    std::env::var("RLCHOL_SOLVE_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    crate::engine::env_positive("RLCHOL_SOLVE_THREADS")
 }

@@ -43,6 +43,14 @@ pub struct SolverOptions {
     /// sweeps, `> 1` forces the level-set path whenever the elimination
     /// tree has level width. Both paths produce bit-identical solutions.
     pub solve_threads: usize,
+    /// Workspace lanes of the staged handle: how many `factor_with` /
+    /// `refactor` calls may run **concurrently** on one shared
+    /// [`SymbolicCholesky`] (each lane owns an independent engine
+    /// workspace; lanes are created lazily, so unused capacity costs
+    /// nothing). `0` means automatic: `RLCHOL_FACTOR_LANES` if set, else
+    /// the pool default. The lane count never affects results — every
+    /// lane's factor is bit-identical to the serial path.
+    pub factor_lanes: usize,
 }
 
 impl Default for SolverOptions {
@@ -54,6 +62,7 @@ impl Default for SolverOptions {
             gpu: GpuOptions::with_threshold(usize::MAX),
             threads: 0,
             solve_threads: 0,
+            factor_lanes: 0,
         }
     }
 }

@@ -30,8 +30,17 @@
 //!   [`solve_refined`](SymbolicCholesky::solve_refined) run in caller
 //!   buffers over a reusable [`SolveWorkspace`]: zero heap allocations
 //!   per call once the workspace is warm.
+//! * The handle is **`Send + Sync` and takes `&self` everywhere**, so an
+//!   `Arc<SymbolicCholesky>` (or a scoped borrow) serves many threads at
+//!   once: engine resources live in a [`lanes`] pool of independent
+//!   workspaces (`factor_lanes` of them, see
+//!   [`SolverOptions::factor_lanes`]), so concurrent
+//!   `factor_with`/`refactor` calls run truly in parallel — each
+//!   bit-identical to the serial path — and
+//!   [`batch_factor`](SymbolicCholesky::batch_factor) fans a whole batch
+//!   of value sets across the lanes on [`rlchol_dense::pool`].
 
-use std::sync::Mutex;
+pub mod lanes;
 
 use rlchol_ordering::order;
 use rlchol_sparse::{Permutation, SymCsc};
@@ -39,10 +48,12 @@ use rlchol_symbolic::{analyze, SymbolicFactor};
 
 use crate::engine::Method;
 use crate::error::{FactorError, SolveError};
-use crate::registry::{engine_for, EngineWorkspace, FactorInfo, NumericEngine};
+use crate::registry::{engine_for, FactorInfo, NumericEngine};
 use crate::solve::{self, SolveInfo, SolvePlan};
 use crate::solver::SolverOptions;
 use crate::storage::FactorData;
+
+use lanes::{Lane, LaneStats, WorkspaceLanes};
 
 /// A numeric factor produced by [`SymbolicCholesky::factor_with`] and
 /// refreshed in place by [`SymbolicCholesky::refactor`].
@@ -161,16 +172,10 @@ pub struct SymbolicCholesky {
     /// scatter that moves input values into factor order without
     /// re-permuting the structure.
     value_map: Vec<usize>,
-    /// Engine resources plus the factor-ordered matrix template, behind
-    /// one lock so `factor_with(&self, ..)` works from shared borrows.
-    inner: Mutex<StagedInner>,
-}
-
-struct StagedInner {
-    ws: EngineWorkspace,
-    /// Structure of `P A Pᵀ` in factor order; values are overwritten
-    /// through `value_map` on every (re)factorization.
-    a_fact: SymCsc,
+    /// The pool of independent engine workspaces (each with its own
+    /// factor-ordered matrix) that lets `factor_with(&self, ..)` run
+    /// concurrently from shared borrows — see [`lanes`].
+    lanes: WorkspaceLanes,
 }
 
 impl SymbolicCholesky {
@@ -208,7 +213,7 @@ impl SymbolicCholesky {
         }
 
         let engine = engine_for(opts.method);
-        let ws = EngineWorkspace::new(opts.threads, opts.gpu);
+        let lanes = WorkspaceLanes::new(opts.factor_lanes, opts.threads, opts.gpu, a_fact);
         let plan = SolvePlan::build(&sym);
         let (solve_lanes, solve_forced) = resolve_solve_threads(opts.solve_threads);
         SymbolicCholesky {
@@ -222,7 +227,7 @@ impl SymbolicCholesky {
             pattern_colptr: a.colptr().to_vec(),
             pattern_rowind: a.rowind().to_vec(),
             value_map,
-            inner: Mutex::new(StagedInner { ws, a_fact }),
+            lanes,
         }
     }
 
@@ -284,11 +289,43 @@ impl SymbolicCholesky {
 
     /// Factors `a` — any matrix with the analyzed pattern — reusing the
     /// symbolic structure. Returns a new [`Factorization`]; to reuse an
-    /// existing one's storage, call [`refactor`](Self::refactor).
+    /// existing one's storage, call [`refactor`](Self::refactor) (or
+    /// hand finished factorizations back with [`recycle`](Self::recycle)
+    /// so later `factor_with` calls reuse their storage).
+    ///
+    /// Takes `&self`: up to [`factor_lanes`](Self::factor_lanes) calls
+    /// run concurrently on independent workspace lanes, each producing a
+    /// factor bit-identical to a serial call with the same engine;
+    /// beyond that, callers block until a lane frees up.
     pub fn factor_with(&self, a: &SymCsc) -> Result<Factorization, FactorError> {
         self.check_pattern(a)?;
-        let mut inner = self.inner.lock().unwrap();
-        self.run_engine(&mut inner, a)
+        let mut guard = self.lanes.checkout();
+        self.run_engine(guard.lane(), a)
+    }
+
+    /// Factors a batch of same-pattern value sets, fanning the work
+    /// across the workspace lanes on [`rlchol_dense::pool`]. Results
+    /// come back in input order, each independently `Ok` or `Err` — one
+    /// indefinite matrix fails its own slot and nothing else. With `L`
+    /// lanes and a pool of `t` threads, `min(L, t)` factorizations are
+    /// in flight at a time.
+    pub fn batch_factor(&self, batch: &[&SymCsc]) -> Vec<Result<Factorization, FactorError>> {
+        let mut out: Vec<Option<Result<Factorization, FactorError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = batch
+            .iter()
+            .zip(out.iter_mut())
+            .map(|(&a, slot)| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    *slot = Some(self.factor_with(a));
+                });
+                task
+            })
+            .collect();
+        rlchol_dense::pool::global().run(tasks);
+        out.into_iter()
+            .map(|r| r.expect("every batch task ran"))
+            .collect()
     }
 
     /// Re-factors into `fact`, reusing both the symbolic structure and
@@ -303,9 +340,15 @@ impl SymbolicCholesky {
     /// a separate [`Factorization`] instead.
     pub fn refactor(&self, fact: &mut Factorization, a: &SymCsc) -> Result<(), FactorError> {
         self.check_pattern(a)?;
-        let mut inner = self.inner.lock().unwrap();
-        inner.ws.recycle(std::mem::take(&mut fact.data));
-        match self.run_engine(&mut inner, a) {
+        let mut guard = self.lanes.checkout();
+        let lane = guard.lane();
+        lane.ws.recycle(std::mem::take(&mut fact.data));
+        // The replaced report's trace buffer feeds the new recording, so
+        // a steady refactor loop never regrows it.
+        if let Some(trace) = fact.info.trace.take() {
+            lane.ws.recycle_trace(trace);
+        }
+        match self.run_engine(lane, a) {
             Ok(fresh) => {
                 *fact = fresh;
                 Ok(())
@@ -320,12 +363,32 @@ impl SymbolicCholesky {
         }
     }
 
-    fn run_engine(
-        &self,
-        inner: &mut StagedInner,
-        a: &SymCsc,
-    ) -> Result<Factorization, FactorError> {
-        let StagedInner { ws, a_fact } = inner;
+    /// Returns a finished [`Factorization`]'s storage (and trace buffer)
+    /// to the lane pool, so subsequent [`factor_with`](Self::factor_with)
+    /// calls reuse it instead of allocating. A serving loop of
+    /// `factor_with` + `recycle` touches the heap only during warm-up —
+    /// the factorization-side analogue of the zero-alloc solves.
+    pub fn recycle(&self, fact: Factorization) {
+        let Factorization { data, mut info, .. } = fact;
+        let trace_ops = info.trace.take().map(|t| t.ops);
+        self.lanes.recycle_parts(data, trace_ops);
+    }
+
+    /// Maximum concurrent factorizations this handle admits (the lane
+    /// cap — precedence: [`SolverOptions::factor_lanes`] >
+    /// `RLCHOL_FACTOR_LANES` > the pool default).
+    pub fn factor_lanes(&self) -> usize {
+        self.lanes.cap()
+    }
+
+    /// Usage counters of the workspace lane pool (lanes created, peak
+    /// concurrency, contended checkouts).
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lanes.stats()
+    }
+
+    fn run_engine(&self, lane: &mut Lane, a: &SymCsc) -> Result<Factorization, FactorError> {
+        let Lane { ws, a_fact } = lane;
         let src = a.values();
         for (dst, &from) in a_fact.values_mut().iter_mut().zip(&self.value_map) {
             *dst = src[from];
@@ -747,6 +810,75 @@ mod tests {
         );
         sc.set_solve_threads(1);
         assert!(!sc.solve_info().level_set, "1 thread forces serial");
+    }
+
+    #[test]
+    fn handle_is_send_sync_and_reports_lane_usage() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SymbolicCholesky>();
+
+        let a = laplace2d(6, 2);
+        let sc = SymbolicCholesky::new(
+            &a,
+            &SolverOptions {
+                factor_lanes: 3,
+                ..SolverOptions::default()
+            },
+        );
+        assert_eq!(sc.factor_lanes(), 3);
+        let f = sc.factor_with(&a).unwrap();
+        let st = sc.lane_stats();
+        assert_eq!(
+            (st.cap, st.created, st.in_use, st.checkouts),
+            (3, 1, 0, 1),
+            "one serial call creates exactly one lane and returns it"
+        );
+        // Recycled storage is reused by the next factorization.
+        let ptr = f.data().sn[0].as_ptr();
+        sc.recycle(f);
+        let f2 = sc.factor_with(&a).unwrap();
+        assert_eq!(
+            f2.data().sn[0].as_ptr(),
+            ptr,
+            "factor_with must pick up recycled storage"
+        );
+    }
+
+    #[test]
+    fn batch_factor_matches_serial_and_isolates_errors() {
+        let a0 = laplace2d(9, 4);
+        let mut sets: Vec<SymCsc> = (5..9).map(|s| laplace2d(9, s)).collect();
+        // Same pattern, indefinite values in slot 2 only.
+        let dpos = sets[2].colptr()[4];
+        sets[2].values_mut()[dpos] = -40.0;
+        let sc = SymbolicCholesky::new(
+            &a0,
+            &SolverOptions {
+                factor_lanes: 2,
+                ..SolverOptions::default()
+            },
+        );
+        let refs: Vec<&SymCsc> = sets.iter().collect();
+        let results = sc.batch_factor(&refs);
+        assert_eq!(results.len(), sets.len());
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert!(
+                    matches!(r, Err(FactorError::NotPositiveDefinite { .. })),
+                    "indefinite slot must fail alone, got {r:?}"
+                );
+            } else {
+                let fresh = CholeskySolver::factor(&sets[i], &SolverOptions::default()).unwrap();
+                assert_eq!(
+                    r.as_ref().unwrap().data(),
+                    fresh.factor_data(),
+                    "batch slot {i} differs from serial"
+                );
+            }
+        }
+        assert!(sc.lane_stats().peak_in_use <= 2, "lane cap respected");
+        // An empty batch is a valid empty request.
+        assert!(sc.batch_factor(&[]).is_empty());
     }
 
     #[test]

@@ -33,11 +33,29 @@ impl std::error::Error for PotrfError {}
 /// triangle. The strict upper triangle is neither read nor written.
 pub fn potrf(n: usize, a: &mut [f64], lda: usize) -> Result<(), PotrfError> {
     debug_assert!(lda >= n.max(1));
-    let mut k = 0;
     // Scratch copy of the diagonal block so the panel TRSM can borrow the
     // column span mutably (L11 and A21 share columns in column-major
-    // storage and cannot be split into disjoint slices).
-    let mut l11 = vec![0.0f64; NB * NB];
+    // storage and cannot be split into disjoint slices). The block size
+    // is a compile-time constant, so one lazily grown thread-local
+    // buffer serves every POTRF this thread ever runs — the supernodal
+    // engines call this once per supernode and must not allocate each
+    // time. `potrf` never re-enters itself (the panel TRSM is a plain
+    // kernel), so the `RefCell` borrow is never contended.
+    std::thread_local! {
+        static L11: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    L11.with(|cell| {
+        let mut l11 = cell.borrow_mut();
+        l11.resize(NB * NB, 0.0);
+        potrf_with(n, a, lda, &mut l11)
+    })
+}
+
+/// [`potrf`] against caller-provided diagonal-block scratch (grown to
+/// `NB * NB` by the wrapper above).
+fn potrf_with(n: usize, a: &mut [f64], lda: usize, l11: &mut [f64]) -> Result<(), PotrfError> {
+    let mut k = 0;
     while k < n {
         let kb = NB.min(n - k);
         let below = n - k - kb;

@@ -33,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
          [--method {}] \
-         [--ordering nd|md|rcm|natural] [--solve-threads N] [--size N]",
+         [--ordering nd|md|rcm|natural] [--solve-threads N] \
+         [--factor-lanes N] [--size N]",
         method_names()
     );
     std::process::exit(2);
@@ -46,6 +47,7 @@ struct Args {
     ordering: OrderingMethod,
     size: usize,
     solve_threads: usize,
+    factor_lanes: usize,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +58,7 @@ fn parse_args() -> Args {
     let mut ordering = OrderingMethod::NestedDissection;
     let mut size = 40usize;
     let mut solve_threads = 0usize;
+    let mut factor_lanes = 0usize;
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -76,6 +79,7 @@ fn parse_args() -> Args {
             }
             "--size" => size = value.parse().unwrap_or_else(|_| usage()),
             "--solve-threads" => solve_threads = value.parse().unwrap_or_else(|_| usage()),
+            "--factor-lanes" => factor_lanes = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -86,6 +90,7 @@ fn parse_args() -> Args {
         ordering,
         size,
         solve_threads,
+        factor_lanes,
     }
 }
 
@@ -111,6 +116,7 @@ fn solver_options(args: &Args) -> SolverOptions {
             assign: None,
         },
         solve_threads: args.solve_threads,
+        factor_lanes: args.factor_lanes,
         ..SolverOptions::default()
     }
 }
@@ -179,6 +185,12 @@ fn main() {
                     stats.peak_bytes as f64 / 1e6
                 );
             }
+            let lanes = handle.lane_stats();
+            println!(
+                "workspace lanes: cap {}, created {}, peak in flight {}, \
+                 {} checkout(s), {} contended",
+                lanes.cap, lanes.created, lanes.peak_in_use, lanes.checkouts, lanes.contended
+            );
         }
         "solve" => {
             let handle = CholeskySolver::analyze(&a, &solver_options(&args));

@@ -61,6 +61,52 @@
 //! in a single call and offers allocating `solve`/`solve_refined`
 //! convenience methods.
 //!
+//! ## Sharing a handle across threads
+//!
+//! [`SymbolicCholesky`] is `Send + Sync` and every factorization entry
+//! point takes `&self`, so one analyzed handle serves many threads at
+//! once — the "analyze once, factor many, **concurrently**" shape of a
+//! batch traffic server. Engine resources live in a pool of independent
+//! *workspace lanes*: up to `factor_lanes` factorizations of different
+//! value sets run truly in parallel (more callers briefly block for a
+//! lane), and every result is **bit-identical to the serial path** for
+//! every engine. Lanes are created lazily, so a handle used from one
+//! thread pays for one lane. The lane count follows the usual
+//! precedence: an explicit nonzero [`SolverOptions::factor_lanes`] wins,
+//! else the **`RLCHOL_FACTOR_LANES`** environment variable, else the
+//! pool default.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rlchol::{CholeskySolver, SolverOptions};
+//! use rlchol::matgen::{grid3d, Stencil};
+//!
+//! let a0 = grid3d(5, 5, 4, Stencil::Star7, 1, 7);
+//! let opts = SolverOptions { factor_lanes: 4, ..SolverOptions::default() };
+//! let handle = Arc::new(CholeskySolver::analyze(&a0, &opts));
+//!
+//! // Threads factor distinct value sets of the same pattern concurrently.
+//! let workers: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let handle = Arc::clone(&handle);
+//!         std::thread::spawn(move || {
+//!             let a = grid3d(5, 5, 4, Stencil::Star7, 1, 100 + t);
+//!             handle.factor_with(&a).expect("SPD values")
+//!         })
+//!     })
+//!     .collect();
+//! for w in workers {
+//!     w.join().unwrap();
+//! }
+//! assert!(handle.lane_stats().created <= 4);
+//!
+//! // Or hand a whole batch over and let it fan across the lanes.
+//! let sets: Vec<_> = (0..8).map(|i| grid3d(5, 5, 4, Stencil::Star7, 1, 200 + i)).collect();
+//! let refs: Vec<&rlchol::SymCsc> = sets.iter().collect();
+//! let results = handle.batch_factor(&refs);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+//!
 //! ## Engines
 //!
 //! Numeric factorization dispatches through the
@@ -101,19 +147,20 @@
 //! [`CholeskySolver::analyze`] builds the handle:
 //!
 //! 1. An explicit nonzero [`SolverOptions::threads`] /
-//!    [`SolverOptions::solve_threads`] /
+//!    [`SolverOptions::solve_threads`] / [`SolverOptions::factor_lanes`] /
 //!    [`GpuOptions::streams`](core::engine::GpuOptions::streams) wins.
 //! 2. A zero defers to the **`RLCHOL_THREADS`** /
-//!    **`RLCHOL_SOLVE_THREADS`** / **`RLCHOL_STREAMS`** environment
-//!    variable (positive integer).
+//!    **`RLCHOL_SOLVE_THREADS`** / **`RLCHOL_FACTOR_LANES`** /
+//!    **`RLCHOL_STREAMS`** environment variable (positive integer).
 //! 3. Unset environment falls back to
-//!    [`std::thread::available_parallelism`] (threads, solve lanes —
-//!    solves additionally stay serial below a small-system cutoff) /
-//!    the runtime default of 2 (stream pairs).
+//!    [`std::thread::available_parallelism`] (threads, solve lanes,
+//!    factor lanes — solves additionally stay serial below a
+//!    small-system cutoff) / the runtime default of 2 (stream pairs).
 //!
 //! One lane / one pair degenerates to the serial / single-stream
-//! schedule, bit-exactly — and the level-set solves are bit-identical
-//! to serial at *any* lane count, so the setting is purely about speed.
+//! schedule, bit-exactly — and the level-set solves and lane-pooled
+//! factorizations are bit-identical to serial at *any* lane count, so
+//! the settings are purely about speed.
 
 pub use rlchol_core as core;
 pub use rlchol_dense as dense;
@@ -127,8 +174,8 @@ pub use rlchol_symbolic as symbolic;
 
 pub use rlchol_core::engine::{GpuOptions, Method};
 pub use rlchol_core::{
-    CholeskySolver, FactorError, FactorInfo, Factorization, SolveWorkspace, SolverOptions,
-    SymbolicCholesky,
+    CholeskySolver, FactorData, FactorError, FactorInfo, Factorization, LaneStats, SolveWorkspace,
+    SolverOptions, SymbolicCholesky,
 };
 pub use rlchol_ordering::OrderingMethod;
 pub use rlchol_sparse::{SymCsc, TripletMatrix};

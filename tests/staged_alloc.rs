@@ -1,8 +1,10 @@
-//! Allocation accounting for the staged solve path: after warm-up,
+//! Allocation accounting for the staged hot paths: after warm-up,
 //! `solve_into`, `solve_many` and `solve_refined` must perform **zero**
-//! heap allocations per call. Enforced with a counting global
-//! allocator, so a regression that sneaks a `Vec` into the hot path
-//! fails loudly.
+//! heap allocations per call — and so must a `factor_with` + `recycle`
+//! serving loop through a warm workspace lane (lane checkout/return,
+//! recycled factor storage, recycled trace buffer, RLB's in-place
+//! update sweep). Enforced with a counting global allocator, so a
+//! regression that sneaks a `Vec` into a hot path fails loudly.
 //!
 //! The counting allocator is per-binary, so this file holds exactly one
 //! test (the harness runs tests in parallel threads; a second test's
@@ -164,5 +166,59 @@ fn solves_are_allocation_free_after_warm_up() {
     assert_eq!(
         allocs, 0,
         "level-set solve path allocated {allocs} times after warm-up"
+    );
+
+    // Lane-pooled factorization: a factor_with/recycle serving loop on a
+    // warm lane must not touch the heap either. RLB applies updates
+    // directly into factor storage (no workspace growth), the lane's
+    // recycle bins return the factor storage and trace buffer, and lane
+    // checkout/return is a free-list pop/push — so after one warm-up
+    // round the loop is allocation-free end to end.
+    let a_rlb = grid3d(5, 5, 4, Stencil::Star7, 1, 13);
+    let handle_rlb = CholeskySolver::analyze(
+        &a_rlb,
+        &SolverOptions {
+            method: rlchol::Method::RlbCpu,
+            factor_lanes: 2,
+            ..SolverOptions::default()
+        },
+    );
+    // Warm-up: creates the lane, grows engine scratch and the GEMM
+    // packing buffers, seeds the recycle bins.
+    let warm = handle_rlb.factor_with(&a_rlb).expect("SPD input");
+    handle_rlb.recycle(warm);
+    let warm = handle_rlb.factor_with(&a_rlb).expect("SPD input");
+    handle_rlb.recycle(warm);
+    settle_pool();
+    let allocs = count_allocs(|| {
+        for _ in 0..5 {
+            let fact = handle_rlb.factor_with(&a_rlb).expect("SPD input");
+            handle_rlb.recycle(fact);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "lane-pooled factor_with allocated {allocs} times after warm-up"
+    );
+    let stats = handle_rlb.lane_stats();
+    assert_eq!(
+        (stats.created, stats.in_use),
+        (1, 0),
+        "a serial serving loop reuses one lane: {stats:?}"
+    );
+
+    // refactor through the same lane pool is equally allocation-free
+    // (storage recycles through the factorization itself).
+    let mut fact = handle_rlb.factor_with(&a_rlb).expect("SPD input");
+    handle_rlb.refactor(&mut fact, &a_rlb).expect("SPD values");
+    settle_pool();
+    let allocs = count_allocs(|| {
+        for _ in 0..5 {
+            handle_rlb.refactor(&mut fact, &a_rlb).expect("SPD values");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "lane-pooled refactor allocated {allocs} times after warm-up"
     );
 }
