@@ -39,6 +39,7 @@ fn bench_factorization(c: &mut Criterion) {
         overlap: true,
         streams: 0,
         assign: None,
+        faults: None,
     };
     g.bench_function("rl_gpu_sim", |b| {
         b.iter(|| factor_rl_gpu(&sym, &a, &opts).unwrap())

@@ -82,7 +82,7 @@ fn main() {
         let p = prepare(&entry);
         let mut on = gpu_options(&cfg, cfg.rl_threshold);
         on.overlap = true;
-        let mut off = on;
+        let mut off = on.clone();
         off.overlap = false;
         let t_on = run_gpu(&p, Method::RlGpu, &on).unwrap().sim_seconds;
         let t_off = run_gpu(&p, Method::RlGpu, &off).unwrap().sim_seconds;

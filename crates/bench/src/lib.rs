@@ -97,6 +97,7 @@ pub fn gpu_options(cfg: &SuiteConfig, threshold: usize) -> GpuOptions {
         overlap: true,
         streams: 0,
         assign: None,
+        faults: None,
     }
 }
 

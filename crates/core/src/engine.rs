@@ -204,7 +204,7 @@ impl StreamAssign {
 }
 
 /// Options for the GPU-accelerated engines.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GpuOptions {
     /// Machine model (CPU side + device).
     pub machine: MachineModel,
@@ -226,6 +226,11 @@ pub struct GpuOptions {
     /// [`StreamAssign::RoundRobin`]. Any policy yields the same factor
     /// (retirement stays in order); only stream utilization differs.
     pub assign: Option<StreamAssign>,
+    /// Deterministic fault-injection plan installed on every device the
+    /// engines build ([`rlchol_gpu::FaultPlan`]); `None` resolves to
+    /// `RLCHOL_FAULTS` (see [`resolved_faults`](Self::resolved_faults)),
+    /// usually absent — no faults.
+    pub faults: Option<rlchol_gpu::FaultPlan>,
 }
 
 impl GpuOptions {
@@ -237,6 +242,7 @@ impl GpuOptions {
             overlap: true,
             streams: 0,
             assign: None,
+            faults: None,
         }
     }
 
@@ -274,6 +280,39 @@ impl GpuOptions {
         self.assign
             .or_else(StreamAssign::from_env)
             .unwrap_or(StreamAssign::RoundRobin)
+    }
+
+    /// The fault plan with the fallback chain applied: an explicit
+    /// [`faults`](Self::faults) wins, else a parseable non-empty
+    /// `RLCHOL_FAULTS`, else none. Resolved once per lane like
+    /// [`resolved_streams`](Self::resolved_streams), so explicit plans
+    /// (the fault-sweep suite) are immune to the environment and the
+    /// hot path never re-reads it. A malformed variable is reported on
+    /// stderr rather than silently injecting nothing.
+    pub fn resolved_faults(&self) -> Option<rlchol_gpu::FaultPlan> {
+        if self.faults.is_some() {
+            return self.faults.clone();
+        }
+        let v = std::env::var("RLCHOL_FAULTS").ok()?;
+        match rlchol_gpu::FaultPlan::parse(&v) {
+            Ok(plan) if !plan.is_empty() => Some(plan),
+            Ok(_) => None,
+            Err(e) => {
+                eprintln!("rlchol: ignoring malformed RLCHOL_FAULTS: {e}");
+                None
+            }
+        }
+    }
+
+    /// Builds the simulated device every GPU engine runs on, with the
+    /// options' fault plan (if any) installed. Engines must create
+    /// devices through this — a bare `Gpu::new` would silently escape
+    /// fault injection.
+    pub fn device(&self) -> rlchol_gpu::Gpu {
+        match &self.faults {
+            Some(plan) => rlchol_gpu::Gpu::with_faults(self.machine.gpu, plan.clone()),
+            None => rlchol_gpu::Gpu::new(self.machine.gpu),
+        }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Errors of the numeric factorization engines.
 
-use rlchol_gpu::GpuError;
+use rlchol_gpu::{DeviceError, GpuError};
 use std::fmt;
+use std::time::Duration;
 
 /// Failure modes of a numeric factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,51 @@ pub enum FactorError {
     },
     /// Any other device-side failure.
     Gpu(String),
+    /// An injected device fault struck the factorization (the
+    /// fault-injection harness; see [`rlchol_gpu::FaultPlan`]).
+    DeviceFault(DeviceError),
+    /// The factorization ran past its [`Deadline`](crate::resilience::Deadline)
+    /// — real wall time and/or simulated device seconds, whichever
+    /// budget expired.
+    DeadlineExceeded {
+        /// The expired wall-clock budget, if that is what tripped.
+        wall: Option<Duration>,
+        /// The expired simulated-seconds budget, if that is what tripped.
+        sim_seconds: Option<f64>,
+    },
+    /// The factorization was cancelled via its
+    /// [`CancelToken`](crate::resilience::CancelToken).
+    Cancelled,
+    /// Every workspace lane stayed busy past the checkout wait budget —
+    /// the admission-control signal: shed the request instead of
+    /// queueing it forever.
+    LanesExhausted {
+        /// The handle's lane cap.
+        cap: usize,
+        /// How long the checkout waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl FactorError {
+    /// True for device-side failures a different engine could avoid —
+    /// the class the [`FallbackChain`](crate::resilience::FallbackChain)
+    /// reacts to. Data errors (not-SPD, pattern mismatch) and
+    /// control-flow errors (deadline, cancellation, lane exhaustion) are
+    /// terminal: every engine would agree on them.
+    pub fn is_device(&self) -> bool {
+        matches!(
+            self,
+            FactorError::DeviceFault(_) | FactorError::Gpu(_) | FactorError::GpuOutOfMemory { .. }
+        )
+    }
+
+    /// True when the failure was marked transient by the fault plan — a
+    /// retry on the same engine may succeed
+    /// ([`RetryPolicy`](crate::resilience::RetryPolicy)).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FactorError::DeviceFault(d) if d.transient)
+    }
 }
 
 impl fmt::Display for FactorError {
@@ -53,6 +99,23 @@ impl fmt::Display for FactorError {
                 "GPU out of memory: need {requested_bytes} B, capacity {capacity_bytes} B"
             ),
             FactorError::Gpu(msg) => write!(f, "GPU failure: {msg}"),
+            FactorError::DeviceFault(e) => write!(f, "device fault: {e}"),
+            FactorError::DeadlineExceeded { wall, sim_seconds } => {
+                write!(f, "factorization deadline exceeded:")?;
+                if let Some(w) = wall {
+                    write!(f, " wall budget {} ms", w.as_millis())?;
+                }
+                if let Some(s) = sim_seconds {
+                    write!(f, " simulated budget {s} s")?;
+                }
+                Ok(())
+            }
+            FactorError::Cancelled => write!(f, "factorization cancelled"),
+            FactorError::LanesExhausted { cap, waited } => write!(
+                f,
+                "all {cap} workspace lanes busy after waiting {} ms",
+                waited.as_millis()
+            ),
         }
     }
 }
@@ -89,6 +152,14 @@ pub enum SolveError {
         /// Dimension of the matrix actually supplied.
         found: usize,
     },
+    /// `solve_refined` computed a NaN/Inf residual — the inputs (or the
+    /// factor) contain non-finite values, and further refinement
+    /// iterations cannot converge.
+    NonFinite {
+        /// The refinement iteration that produced the non-finite
+        /// residual (0 is the initial solve's residual).
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -106,6 +177,9 @@ impl fmt::Display for SolveError {
                 f,
                 "matrix has dimension {found}, analyzed system has {expected}"
             ),
+            SolveError::NonFinite { iteration } => {
+                write!(f, "non-finite residual at refinement iteration {iteration}")
+            }
         }
     }
 }
@@ -127,6 +201,7 @@ impl From<GpuError> for FactorError {
                 // Device POTRF failures carry the pivot message.
                 FactorError::Gpu(msg)
             }
+            GpuError::Fault(e) => FactorError::DeviceFault(e),
             other => FactorError::Gpu(other.to_string()),
         }
     }
@@ -165,6 +240,29 @@ mod tests {
                 FactorError::Gpu("stream 2 failed".to_string()),
                 &["GPU", "stream 2 failed"],
             ),
+            (
+                FactorError::DeviceFault(rlchol_gpu::DeviceError {
+                    kind: rlchol_gpu::FaultKind::KernelFault,
+                    index: 7,
+                    transient: true,
+                }),
+                &["device fault", "kernel", "7", "transient"],
+            ),
+            (
+                FactorError::DeadlineExceeded {
+                    wall: Some(Duration::from_millis(250)),
+                    sim_seconds: Some(1.5),
+                },
+                &["deadline", "250", "1.5"],
+            ),
+            (FactorError::Cancelled, &["cancelled"]),
+            (
+                FactorError::LanesExhausted {
+                    cap: 4,
+                    waited: Duration::from_millis(3000),
+                },
+                &["lanes", "4", "3000"],
+            ),
         ]
     }
 
@@ -190,6 +288,10 @@ mod tests {
                     found: 7,
                 },
                 &["matrix", "100", "7"],
+            ),
+            (
+                SolveError::NonFinite { iteration: 2 },
+                &["non-finite", "iteration 2"],
             ),
         ]
     }
@@ -235,5 +337,36 @@ mod tests {
         );
         let numerical: FactorError = GpuError::Numerical("pivot 12 not positive".into()).into();
         assert!(format!("{numerical}").contains("pivot 12 not positive"));
+        let fault: FactorError = GpuError::Fault(rlchol_gpu::DeviceError {
+            kind: rlchol_gpu::FaultKind::TransferFail,
+            index: 3,
+            transient: false,
+        })
+        .into();
+        assert!(matches!(fault, FactorError::DeviceFault(_)));
+    }
+
+    /// The classification the degradation policy keys on: device errors
+    /// fall back, transient device faults retry, everything else is
+    /// terminal.
+    #[test]
+    fn degradation_classes_partition_the_variants() {
+        for (err, _) in factor_variants() {
+            let device = err.is_device();
+            match &err {
+                FactorError::DeviceFault(d) => {
+                    assert!(device);
+                    assert_eq!(err.is_transient(), d.transient);
+                }
+                FactorError::Gpu(_) | FactorError::GpuOutOfMemory { .. } => {
+                    assert!(device);
+                    assert!(!err.is_transient());
+                }
+                _ => {
+                    assert!(!device, "{err:?} must be terminal");
+                    assert!(!err.is_transient());
+                }
+            }
+        }
     }
 }

@@ -24,7 +24,6 @@
 use std::time::Instant;
 
 use rlchol_dense::syrk_ln;
-use rlchol_gpu::Gpu;
 use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
@@ -59,8 +58,9 @@ pub fn factor_rl_gpu_ws(
     ws: &mut EngineWorkspace,
 ) -> Result<GpuRun, FactorError> {
     let t0 = Instant::now();
+    let ctl = ws.ctl.clone();
     let mut data = ws.take_factor(sym, a);
-    let gpu = Gpu::new(opts.machine.gpu);
+    let gpu = opts.device();
     gpu.set_blocking(!opts.overlap);
     let compute = gpu.default_stream();
     let copy = gpu.create_stream();
@@ -90,6 +90,10 @@ pub fn factor_rl_gpu_ws(
     let mut prev_copyback = None;
 
     for s in 0..sym.nsup() {
+        // Deadline/cancel checkpoint: a stalled stream inflates the
+        // simulated clock, so a sim budget aborts here instead of
+        // grinding through the remaining supernodes.
+        ctl.check_sim(gpu.elapsed())?;
         let c = sym.sn_ncols(s);
         let r = sym.sn_nrows_below(s);
         let len = sym.sn_len(s);
@@ -257,7 +261,7 @@ mod tests {
         let (sym, ap) = setup(&a);
         let mut with = GpuOptions::with_threshold(0);
         with.overlap = true;
-        let mut without = with;
+        let mut without = with.clone();
         without.overlap = false;
         let t_with = factor_rl_gpu(&sym, &ap, &with).unwrap().sim_seconds;
         let t_without = factor_rl_gpu(&sym, &ap, &without).unwrap().sim_seconds;

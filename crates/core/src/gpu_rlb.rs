@@ -254,8 +254,9 @@ pub fn factor_rlb_gpu_ws(
     ws: &mut EngineWorkspace,
 ) -> Result<GpuRun, FactorError> {
     let t0 = Instant::now();
+    let ctl = ws.ctl.clone();
     let mut data = ws.take_factor(sym, a);
-    let gpu = Gpu::new(opts.machine.gpu);
+    let gpu = opts.device();
     gpu.set_blocking(!opts.overlap);
     let compute = gpu.default_stream();
     let copy = gpu.create_stream();
@@ -311,6 +312,9 @@ pub fn factor_rlb_gpu_ws(
     let mut l11 = Vec::new();
 
     for s in 0..sym.nsup() {
+        // Deadline/cancel checkpoint, against the simulated device clock
+        // (what an injected stream stall inflates).
+        ctl.check_sim(gpu.elapsed())?;
         let c = sym.sn_ncols(s);
         let r = sym.sn_nrows_below(s);
         let len = sym.sn_len(s);

@@ -67,6 +67,7 @@ pub mod gpu_rlb;
 pub mod ll;
 pub mod multifrontal;
 pub mod registry;
+pub mod resilience;
 pub mod rl;
 pub mod rlb;
 pub mod sched;
@@ -79,6 +80,9 @@ pub mod storage;
 pub use engine::{best_cpu_time, CpuRun, GpuOptions, GpuRun, Method};
 pub use error::{FactorError, SolveError};
 pub use registry::{engine_for, EngineRun, EngineWorkspace, FactorInfo, NumericEngine};
+pub use resilience::{
+    CancelToken, Deadline, FallbackChain, RecoveryAction, RecoveryEvent, RetryPolicy, RunCtl,
+};
 pub use sched::{factor_rl_cpu_par, factor_rl_gpu_pipe, factor_rlb_cpu_par, factor_rlb_gpu_pipe};
 pub use solve::{SolveInfo, SolvePlan};
 pub use solver::{CholeskySolver, SolverOptions};

@@ -50,6 +50,9 @@ pub struct FactorInfo {
     /// Operation trace, replayable under the performance model (CPU
     /// engines only).
     pub trace: Option<Trace>,
+    /// Recovery steps the staged handle took to produce this factor
+    /// (retries, fallbacks, lane quarantines); empty on a clean run.
+    pub recovery: Vec<crate::resilience::RecoveryEvent>,
 }
 
 /// What an engine hands back: the numeric factor plus its report.
@@ -113,6 +116,10 @@ pub struct EngineWorkspace {
     /// returned through `SymbolicCholesky::recycle` — so the serial CPU
     /// engines' trace recording allocates nothing at steady state.
     pub(crate) trace_ops: Vec<TraceOp>,
+    /// Deadline/cancellation control the `Frontier` executors check per
+    /// supernode. Unarmed (a no-op) by default; the staged handle arms
+    /// it per factorization.
+    pub ctl: crate::resilience::RunCtl,
 }
 
 impl EngineWorkspace {
@@ -138,6 +145,7 @@ impl EngineWorkspace {
     /// when none were provided).
     pub fn resolved_gpu(&self) -> GpuOptions {
         self.gpu
+            .clone()
             .unwrap_or_else(|| GpuOptions::with_threshold(usize::MAX))
     }
 

@@ -128,6 +128,9 @@ struct Shared<'a> {
     active: AtomicUsize,
     threads: usize,
     variant: Variant,
+    /// Deadline/cancel control, checked once per popped supernode (the
+    /// workers' natural checkpoint granularity).
+    ctl: crate::resilience::RunCtl,
     error: Mutex<Option<FactorError>>,
     /// Payload of the first task panic; re-raised by the driver so a
     /// panicking parallel factorization behaves like the serial one.
@@ -223,6 +226,7 @@ fn run_scheduler(
         active: AtomicUsize::new(0),
         threads,
         variant,
+        ctl: ws.ctl.clone(),
         error: Mutex::new(None),
         panic: Mutex::new(None),
         trace: Mutex::new(Trace::new()),
@@ -300,6 +304,13 @@ fn worker(shared: &Shared<'_>) {
                 }
             }
         };
+        // Deadline/cancel checkpoint before committing to the task: a
+        // tripped control stops the whole scheduler (first error wins)
+        // instead of letting the sweep run to completion.
+        if let Err(err) = shared.ctl.check() {
+            shared.fail(err);
+            return;
+        }
         shared.active.fetch_add(1, Ordering::Relaxed);
         // A panicking task must still stop the scheduler: letting it
         // unwind freely would leave `stop` unset and every other worker

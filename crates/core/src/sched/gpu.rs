@@ -159,8 +159,9 @@ fn run_pipeline(
     ws: &mut EngineWorkspace,
 ) -> Result<GpuRun, FactorError> {
     let t0 = Instant::now();
+    let ctl = ws.ctl.clone();
     let mut data = ws.take_factor(sym, a);
-    let gpu = Gpu::new(opts.machine.gpu);
+    let gpu = opts.device();
     gpu.set_blocking(!opts.overlap);
     let cpu = opts.machine.cpu;
     let nsup = sym.nsup();
@@ -218,6 +219,10 @@ fn run_pipeline(
     let mut host_ws: Vec<f64> = Vec::new();
 
     for s in 0..nsup {
+        // Deadline/cancel checkpoint, once per retirement step. The
+        // simulated clock is what an injected stream stall inflates, so
+        // a sim budget aborts the sweep instead of riding it out.
+        ctl.check_sim(gpu.elapsed())?;
         // Issue phase: ready supernodes go to the device, lowest index
         // first (which both ties the round-robin to a deterministic
         // order and guarantees `s` itself — the minimum of the heap
@@ -515,7 +520,7 @@ mod tests {
         // At full capacity v2 never splits blocks, so all three agree.
         assert_eq!(v1.factor.sn, v2.factor.sn);
         for streams in [1usize, 3] {
-            let run = factor_rlb_gpu_pipe(&sym, &ap, &opts1.with_streams(streams)).unwrap();
+            let run = factor_rlb_gpu_pipe(&sym, &ap, &opts1.clone().with_streams(streams)).unwrap();
             assert_eq!(v1.factor.sn, run.factor.sn, "streams {streams}");
         }
     }

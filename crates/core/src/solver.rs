@@ -23,7 +23,7 @@ use crate::staged::{Factorization, SolveWorkspace, SymbolicCholesky};
 use crate::storage::FactorData;
 
 /// Options for [`CholeskySolver::factor`] / [`CholeskySolver::analyze`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolverOptions {
     /// Fill-reducing ordering (paper: METIS nested dissection).
     pub ordering: OrderingMethod,
@@ -51,6 +51,30 @@ pub struct SolverOptions {
     /// the pool default. The lane count never affects results — every
     /// lane's factor is bit-identical to the serial path.
     pub factor_lanes: usize,
+    /// Engines to degrade to (in order) when the primary engine fails
+    /// with a device-side error. Empty (the default) surfaces the typed
+    /// error instead; [`FallbackChain::recommended`] builds the
+    /// stay-in-family GPU → CPU path.
+    pub fallback: crate::resilience::FallbackChain,
+    /// Bounded retries for device faults marked transient (default:
+    /// none).
+    pub retry: crate::resilience::RetryPolicy,
+    /// Wall-clock / simulated-seconds budget per factorization (default:
+    /// unlimited). Expiry surfaces as
+    /// [`FactorError::DeadlineExceeded`](crate::FactorError::DeadlineExceeded).
+    pub deadline: crate::resilience::Deadline,
+    /// Deterministic fault-injection plan for the simulated device
+    /// (testing). `None` defers to [`GpuOptions::faults`], then the
+    /// `RLCHOL_FAULTS` environment variable, resolved once at handle
+    /// construction.
+    pub faults: Option<rlchol_gpu::FaultPlan>,
+    /// How long a `factor_with`/`refactor` call may wait for a free
+    /// workspace lane before failing with
+    /// [`FactorError::LanesExhausted`](crate::FactorError::LanesExhausted).
+    /// `None` resolves to `RLCHOL_LANE_WAIT_MS`, else a generous 30 s —
+    /// long enough for any real factorization to return a lane, short
+    /// enough that a wedged lane cannot hang a service forever.
+    pub lane_wait: Option<std::time::Duration>,
 }
 
 impl Default for SolverOptions {
@@ -63,6 +87,11 @@ impl Default for SolverOptions {
             threads: 0,
             solve_threads: 0,
             factor_lanes: 0,
+            fallback: crate::resilience::FallbackChain::none(),
+            retry: crate::resilience::RetryPolicy::default(),
+            deadline: crate::resilience::Deadline::none(),
+            faults: None,
+            lane_wait: None,
         }
     }
 }

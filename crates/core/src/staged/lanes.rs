@@ -44,11 +44,13 @@
 
 use std::cell::Cell;
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use rlchol_perfmodel::TraceOp;
 use rlchol_sparse::SymCsc;
 
 use crate::engine::GpuOptions;
+use crate::error::FactorError;
 use crate::registry::EngineWorkspace;
 use crate::storage::FactorData;
 
@@ -86,6 +88,11 @@ pub struct LaneStats {
     /// [`HELD_LANES`]); dropped on return instead of joining the free
     /// list.
     pub overflow: u64,
+    /// Lanes torn down instead of rejoining the free list because the
+    /// factorization they served ended in a device fault or a panic.
+    /// The cap slot is released, so the next checkout builds a fresh
+    /// lane — possibly-poisoned scratch never serves another caller.
+    pub quarantined: u64,
 }
 
 thread_local! {
@@ -115,6 +122,7 @@ struct LaneState {
     checkouts: u64,
     contended: u64,
     overflow: u64,
+    quarantined: u64,
     /// Factor storage returned via `recycle`, restocked at checkout.
     factors: Vec<FactorData>,
     /// Trace buffers returned via `recycle`, restocked at checkout.
@@ -127,12 +135,17 @@ pub(crate) struct WorkspaceLanes {
     cap: usize,
     /// Lanes for the task-parallel CPU engines inside one factorization.
     threads: usize,
-    /// The per-lane GPU options (streams and assignment pre-resolved).
+    /// The per-lane GPU options (streams, assignment and fault plan
+    /// pre-resolved).
     gpu: GpuOptions,
     /// Pristine factor-ordered structure new lanes are cloned from.
     template: SymCsc,
+    /// How long a blocked checkout waits before giving up with
+    /// [`FactorError::LanesExhausted`].
+    wait: Duration,
     state: Mutex<LaneState>,
-    /// Signalled when a lane returns to the free list.
+    /// Signalled when a lane returns to the free list (or a cap slot is
+    /// released by quarantine).
     returned: Condvar,
 }
 
@@ -141,6 +154,17 @@ pub(crate) struct WorkspaceLanes {
 fn env_factor_lanes() -> Option<usize> {
     crate::engine::env_positive("RLCHOL_FACTOR_LANES")
 }
+
+/// Checkout wait budget from the environment: `RLCHOL_LANE_WAIT_MS`
+/// when set to a positive integer (milliseconds).
+fn env_lane_wait() -> Option<Duration> {
+    crate::engine::env_positive("RLCHOL_LANE_WAIT_MS").map(|ms| Duration::from_millis(ms as u64))
+}
+
+/// Default checkout wait budget: long enough that a healthy pool under
+/// momentary load never trips it, short enough that a wedged lane set
+/// surfaces as a typed error rather than a hang.
+const DEFAULT_LANE_WAIT: Duration = Duration::from_secs(30);
 
 impl WorkspaceLanes {
     /// Builds the pool. `cap_option` is
@@ -152,6 +176,7 @@ impl WorkspaceLanes {
         threads: usize,
         gpu: GpuOptions,
         template: SymCsc,
+        wait_option: Option<Duration>,
     ) -> Self {
         let cap = if cap_option > 0 {
             cap_option
@@ -159,16 +184,23 @@ impl WorkspaceLanes {
             env_factor_lanes().unwrap_or_else(rlchol_dense::pool::default_threads)
         }
         .max(1);
-        // Pre-resolve the stream options once so every lane's engine
-        // runs with explicit, stable settings (no env reads per call).
-        let gpu = gpu
-            .with_streams(gpu.resolved_streams())
-            .with_assign(gpu.resolved_assign());
+        let wait = wait_option
+            .or_else(env_lane_wait)
+            .unwrap_or(DEFAULT_LANE_WAIT);
+        // Pre-resolve stream options and the fault plan once so every
+        // lane's engine runs with explicit, stable settings (no env
+        // reads per call, and `RLCHOL_FAULTS` cannot change mid-handle).
+        let streams = gpu.resolved_streams();
+        let assign = gpu.resolved_assign();
+        let faults = gpu.resolved_faults();
+        let mut gpu = gpu.with_streams(streams).with_assign(assign);
+        gpu.faults = faults;
         WorkspaceLanes {
             cap,
             threads,
             gpu,
             template,
+            wait,
             state: Mutex::new(LaneState {
                 free: Vec::new(),
                 overflow_free: Vec::new(),
@@ -178,6 +210,7 @@ impl WorkspaceLanes {
                 checkouts: 0,
                 contended: 0,
                 overflow: 0,
+                quarantined: 0,
                 factors: Vec::new(),
                 traces: Vec::new(),
             }),
@@ -201,6 +234,7 @@ impl WorkspaceLanes {
             checkouts: st.checkouts,
             contended: st.contended,
             overflow: st.overflow,
+            quarantined: st.quarantined,
         }
     }
 
@@ -208,15 +242,19 @@ impl WorkspaceLanes {
     /// one while the pool is below its cap, otherwise blocks until a
     /// lane returns — unless this thread already holds a lane (nested
     /// checkout via pool work-stealing), where blocking could deadlock
-    /// and a temporary overflow lane is built instead. The returned
-    /// guard hands the lane back on drop (also on panic), so a failed
-    /// factorization cannot leak a lane.
-    pub(crate) fn checkout(&self) -> LaneGuard<'_> {
+    /// and a temporary overflow lane is built instead. A blocked
+    /// checkout waits at most the pool's wait budget
+    /// (`SolverOptions::lane_wait` / `RLCHOL_LANE_WAIT_MS` / 30 s)
+    /// before giving up with [`FactorError::LanesExhausted`] — the
+    /// admission-control signal that sheds load instead of queueing it
+    /// forever. The returned guard hands the lane back on drop (also on
+    /// panic), so a failed factorization cannot leak a lane.
+    pub(crate) fn checkout(&self) -> Result<LaneGuard<'_>, FactorError> {
         let nested = HELD_LANES.with(|h| h.get()) > 0;
         let mut overflow = false;
         let mut st = self.state.lock().unwrap();
         st.checkouts += 1;
-        let mut waited = false;
+        let mut wait_started: Option<Instant> = None;
         let mut lane = loop {
             if let Some(lane) = st.free.pop() {
                 break Some(lane);
@@ -232,18 +270,25 @@ impl WorkspaceLanes {
                 st.overflow += 1;
                 break st.overflow_free.pop();
             }
-            if !waited {
+            let started = *wait_started.get_or_insert_with(|| {
                 st.contended += 1;
-                waited = true;
-            }
-            st = self.returned.wait(st).unwrap();
+                Instant::now()
+            });
+            let elapsed = started.elapsed();
+            let Some(remaining) = self.wait.checked_sub(elapsed) else {
+                return Err(FactorError::LanesExhausted {
+                    cap: self.cap,
+                    waited: elapsed,
+                });
+            };
+            st = self.returned.wait_timeout(st, remaining).unwrap().0;
         };
         if lane.is_none() {
             // Build the lane outside the lock: cloning the template of a
             // large pattern must not stall concurrent checkouts/returns.
             drop(st);
             let fresh = Lane {
-                ws: EngineWorkspace::new(self.threads, self.gpu),
+                ws: EngineWorkspace::new(self.threads, self.gpu.clone()),
                 a_fact: self.template.clone(),
             };
             st = self.state.lock().unwrap();
@@ -266,11 +311,12 @@ impl WorkspaceLanes {
         st.peak_in_use = st.peak_in_use.max(st.in_use);
         drop(st);
         HELD_LANES.with(|h| h.set(h.get() + 1));
-        LaneGuard {
+        Ok(LaneGuard {
             lanes: self,
             lane: Some(lane),
             overflow,
-        }
+            quarantine: false,
+        })
     }
 
     /// Returns factor storage and a trace buffer to the shared bins
@@ -287,10 +333,28 @@ impl WorkspaceLanes {
         }
     }
 
-    fn hand_back(&self, lane: Lane, overflow: bool) {
+    fn hand_back(&self, lane: Lane, overflow: bool, quarantine: bool) {
         HELD_LANES.with(|h| h.set(h.get() - 1));
         let mut st: MutexGuard<'_, LaneState> = self.state.lock().unwrap();
         st.in_use -= 1;
+        if quarantine {
+            // The factorization this lane served ended in a device
+            // fault or a panic: its scratch, recycled storage and
+            // simulated device state are suspect. Tear the lane down
+            // instead of recycling it; a cap-backed slot is released so
+            // the next checkout (or a blocked waiter) builds a fresh
+            // lane from the pristine template.
+            st.quarantined += 1;
+            if !overflow {
+                st.created -= 1;
+            }
+            drop(st);
+            drop(lane);
+            if !overflow {
+                self.returned.notify_one();
+            }
+            return;
+        }
         if overflow {
             // Beyond-cap lane: cache it for the next nested checkout
             // (bounded), salvaging its recyclables when the cache is
@@ -324,18 +388,32 @@ pub(crate) struct LaneGuard<'a> {
     lane: Option<Lane>,
     /// True for a temporary beyond-cap lane (nested checkout).
     overflow: bool,
+    /// Set when the factorization this lane served ended in a device
+    /// fault — the lane is torn down on drop instead of recycled.
+    quarantine: bool,
 }
 
 impl LaneGuard<'_> {
     pub(crate) fn lane(&mut self) -> &mut Lane {
         self.lane.as_mut().expect("lane present until drop")
     }
+
+    /// Marks the lane for teardown on drop: its scratch and simulated
+    /// device state are suspect after a device fault and must not serve
+    /// another factorization.
+    pub(crate) fn quarantine(&mut self) {
+        self.quarantine = true;
+    }
 }
 
 impl Drop for LaneGuard<'_> {
     fn drop(&mut self) {
         if let Some(lane) = self.lane.take() {
-            self.lanes.hand_back(lane, self.overflow);
+            // A panic unwinding through the guard quarantines the lane
+            // too: the engine stopped mid-write, so the lane's factor
+            // storage and scratch are in an undefined state.
+            let quarantine = self.quarantine || std::thread::panicking();
+            self.lanes.hand_back(lane, self.overflow, quarantine);
         }
     }
 }
@@ -351,6 +429,7 @@ mod tests {
             1,
             GpuOptions::with_threshold(usize::MAX),
             laplace2d(4, 3),
+            None,
         )
     }
 
@@ -359,8 +438,8 @@ mod tests {
         let lanes = pool(3);
         assert_eq!(lanes.stats().created, 0, "no lane before first checkout");
         {
-            let mut g1 = lanes.checkout();
-            let mut g2 = lanes.checkout();
+            let mut g1 = lanes.checkout().unwrap();
+            let mut g2 = lanes.checkout().unwrap();
             g1.lane().ws.lanes = 11; // tag the lanes to observe reuse
             g2.lane().ws.lanes = 22;
             assert_eq!(lanes.stats().created, 2);
@@ -369,7 +448,7 @@ mod tests {
         assert_eq!(lanes.stats().in_use, 0);
         // LIFO: the last lane returned comes back first (guards drop in
         // reverse declaration order, so g1's lane returned last).
-        let mut g = lanes.checkout();
+        let mut g = lanes.checkout().unwrap();
         assert_eq!(g.lane().ws.lanes, 11);
         let st = lanes.stats();
         assert_eq!((st.created, st.checkouts, st.contended), (2, 3, 0));
@@ -378,10 +457,10 @@ mod tests {
     #[test]
     fn checkout_blocks_at_cap_until_a_lane_returns() {
         let lanes = std::sync::Arc::new(pool(1));
-        let guard = lanes.checkout();
+        let guard = lanes.checkout().unwrap();
         let l2 = std::sync::Arc::clone(&lanes);
         let waiter = std::thread::spawn(move || {
-            let _g = l2.checkout(); // must block until the guard drops
+            let _g = l2.checkout().unwrap(); // must block until the guard drops
             l2.stats().peak_in_use
         });
         // Give the waiter time to reach the condvar, then release.
@@ -394,6 +473,70 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_checkout_times_out_with_a_typed_error() {
+        let lanes = WorkspaceLanes::new(
+            1,
+            1,
+            GpuOptions::with_threshold(usize::MAX),
+            laplace2d(4, 3),
+            Some(Duration::from_millis(30)),
+        );
+        let _held = lanes.checkout().unwrap();
+        // Checkout from a fresh thread (no nested-overflow escape
+        // hatch): it must give up after the wait budget, not hang.
+        let err = std::thread::scope(|s| {
+            s.spawn(|| lanes.checkout().map(|_| ()).unwrap_err())
+                .join()
+                .unwrap()
+        });
+        match err {
+            FactorError::LanesExhausted { cap, waited } => {
+                assert_eq!(cap, 1);
+                assert!(waited >= Duration::from_millis(30), "waited {waited:?}");
+            }
+            other => panic!("expected LanesExhausted, got {other:?}"),
+        }
+        assert_eq!(lanes.stats().contended, 1);
+    }
+
+    #[test]
+    fn quarantine_tears_the_lane_down_and_releases_the_cap_slot() {
+        let lanes = pool(1);
+        {
+            let mut g = lanes.checkout().unwrap();
+            g.lane().ws.lanes = 13; // tag: this lane must never come back
+            g.quarantine();
+        }
+        let st = lanes.stats();
+        assert_eq!(
+            (st.created, st.in_use, st.quarantined),
+            (0, 0, 1),
+            "quarantine releases the cap slot instead of freeing the lane"
+        );
+        // The next checkout builds a fresh lane from the template.
+        let mut g = lanes.checkout().unwrap();
+        assert_ne!(g.lane().ws.lanes, 13, "quarantined lane must not return");
+        assert_eq!(lanes.stats().created, 1);
+    }
+
+    #[test]
+    fn panic_unwinding_through_the_guard_quarantines_the_lane() {
+        let lanes = std::sync::Arc::new(pool(1));
+        let l2 = std::sync::Arc::clone(&lanes);
+        let joined = std::thread::spawn(move || {
+            let mut g = l2.checkout().unwrap();
+            g.lane().ws.lanes = 99;
+            panic!("engine blew up mid-factorization");
+        })
+        .join();
+        assert!(joined.is_err(), "the spawned thread must have panicked");
+        let st = lanes.stats();
+        assert_eq!((st.created, st.in_use, st.quarantined), (0, 0, 1));
+        let mut g = lanes.checkout().unwrap();
+        assert_ne!(g.lane().ws.lanes, 99, "poisoned lane must not be reused");
+    }
+
+    #[test]
     fn nested_checkout_overflows_instead_of_deadlocking() {
         // A thread that already holds a lane (an engine waiting on the
         // thread pool popped another queued factorization) must never
@@ -401,8 +544,8 @@ mod tests {
         // lane held further down its own stack. It gets a temporary
         // overflow lane instead — this test deadlocks if it regresses.
         let lanes = pool(1);
-        let outer = lanes.checkout();
-        let mut inner = lanes.checkout();
+        let outer = lanes.checkout().unwrap();
+        let mut inner = lanes.checkout().unwrap();
         inner.lane().ws.lanes = 77; // tag the overflow lane
         let st = lanes.stats();
         assert_eq!((st.created, st.overflow, st.in_use), (1, 1, 2));
@@ -420,8 +563,8 @@ mod tests {
         }
         // A later nested checkout reuses the cached lane instead of
         // cloning the template again.
-        let _outer = lanes.checkout();
-        let mut inner = lanes.checkout();
+        let _outer = lanes.checkout().unwrap();
+        let mut inner = lanes.checkout().unwrap();
         assert_eq!(inner.lane().ws.lanes, 77, "cached overflow lane reused");
         assert_eq!(lanes.stats().overflow, 2);
     }
@@ -441,7 +584,7 @@ mod tests {
             assert_eq!(st.traces.len(), 1);
         }
         // Checkout moves the binned storage into the lane's workspace.
-        let mut g = lanes.checkout();
+        let mut g = lanes.checkout().unwrap();
         assert!(g.lane().ws.has_recycled_factor());
         assert!(g.lane().ws.trace_ops.capacity() > 0);
         drop(g);

@@ -49,6 +49,9 @@ use rlchol_symbolic::{analyze, SymbolicFactor};
 use crate::engine::Method;
 use crate::error::{FactorError, SolveError};
 use crate::registry::{engine_for, FactorInfo, NumericEngine};
+use crate::resilience::{
+    CancelToken, Deadline, RecoveryAction, RecoveryEvent, RetryPolicy, RunCtl,
+};
 use crate::solve::{self, SolveInfo, SolvePlan};
 use crate::solver::SolverOptions;
 use crate::storage::FactorData;
@@ -176,6 +179,17 @@ pub struct SymbolicCholesky {
     /// factor-ordered matrix) that lets `factor_with(&self, ..)` run
     /// concurrently from shared borrows — see [`lanes`].
     lanes: WorkspaceLanes,
+    /// Fallback engines (degradation order), resolved once from
+    /// [`SolverOptions::fallback`] — the registry lookup must not run on
+    /// the recovery path.
+    chain: Vec<(Method, &'static dyn NumericEngine)>,
+    /// Bounded retries for transient device faults.
+    retry: RetryPolicy,
+    /// Per-factorization wall / simulated-seconds budget.
+    deadline: Deadline,
+    /// Handle-wide cancellation flag; armed into every factorization's
+    /// [`RunCtl`] and checked by `batch_factor` before starting a slot.
+    cancel: CancelToken,
 }
 
 impl SymbolicCholesky {
@@ -213,7 +227,21 @@ impl SymbolicCholesky {
         }
 
         let engine = engine_for(opts.method);
-        let lanes = WorkspaceLanes::new(opts.factor_lanes, opts.threads, opts.gpu, a_fact);
+        // Fault plans flow down: an explicit GpuOptions plan wins, else
+        // the solver-level plan, else (inside the lane pool, resolved
+        // once) the RLCHOL_FAULTS environment variable.
+        let mut gpu = opts.gpu.clone();
+        if gpu.faults.is_none() {
+            gpu.faults = opts.faults.clone();
+        }
+        let lanes =
+            WorkspaceLanes::new(opts.factor_lanes, opts.threads, gpu, a_fact, opts.lane_wait);
+        let chain = opts
+            .fallback
+            .methods
+            .iter()
+            .map(|&m| (m, engine_for(m)))
+            .collect();
         let plan = SolvePlan::build(&sym);
         let (solve_lanes, solve_forced) = resolve_solve_threads(opts.solve_threads);
         SymbolicCholesky {
@@ -228,6 +256,10 @@ impl SymbolicCholesky {
             pattern_rowind: a.rowind().to_vec(),
             value_map,
             lanes,
+            chain,
+            retry: opts.retry,
+            deadline: opts.deadline,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -296,11 +328,26 @@ impl SymbolicCholesky {
     /// Takes `&self`: up to [`factor_lanes`](Self::factor_lanes) calls
     /// run concurrently on independent workspace lanes, each producing a
     /// factor bit-identical to a serial call with the same engine;
-    /// beyond that, callers block until a lane frees up.
+    /// beyond that, callers block until a lane frees up — at most the
+    /// handle's wait budget ([`SolverOptions::lane_wait`]), after which
+    /// the call sheds with [`FactorError::LanesExhausted`].
+    ///
+    /// Device-side failures degrade per the handle's
+    /// [`RetryPolicy`]/[`FallbackChain`](crate::resilience::FallbackChain)
+    /// (each step recorded in [`FactorInfo::recovery`]); a factorization
+    /// that still ends in a device error **quarantines its lane** — the
+    /// possibly-poisoned workspace is torn down and rebuilt fresh on the
+    /// next checkout.
     pub fn factor_with(&self, a: &SymCsc) -> Result<Factorization, FactorError> {
         self.check_pattern(a)?;
-        let mut guard = self.lanes.checkout();
-        self.run_engine(guard.lane(), a)
+        let mut guard = self.lanes.checkout()?;
+        let result = self.run_engine(guard.lane(), a);
+        if let Err(e) = &result {
+            if e.is_device() {
+                guard.quarantine();
+            }
+        }
+        result
     }
 
     /// Factors a batch of same-pattern value sets, fanning the work
@@ -308,7 +355,10 @@ impl SymbolicCholesky {
     /// come back in input order, each independently `Ok` or `Err` — one
     /// indefinite matrix fails its own slot and nothing else. With `L`
     /// lanes and a pool of `t` threads, `min(L, t)` factorizations are
-    /// in flight at a time.
+    /// in flight at a time. Cancelling the handle's
+    /// [`cancel_token`](Self::cancel_token) fails not-yet-started slots
+    /// with [`FactorError::Cancelled`] (in-flight ones abort at their
+    /// next executor checkpoint).
     pub fn batch_factor(&self, batch: &[&SymCsc]) -> Vec<Result<Factorization, FactorError>> {
         let mut out: Vec<Option<Result<Factorization, FactorError>>> =
             (0..batch.len()).map(|_| None).collect();
@@ -317,7 +367,11 @@ impl SymbolicCholesky {
             .zip(out.iter_mut())
             .map(|(&a, slot)| {
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    *slot = Some(self.factor_with(a));
+                    *slot = Some(if self.cancel.is_cancelled() {
+                        Err(FactorError::Cancelled)
+                    } else {
+                        self.factor_with(a)
+                    });
                 });
                 task
             })
@@ -340,7 +394,7 @@ impl SymbolicCholesky {
     /// a separate [`Factorization`] instead.
     pub fn refactor(&self, fact: &mut Factorization, a: &SymCsc) -> Result<(), FactorError> {
         self.check_pattern(a)?;
-        let mut guard = self.lanes.checkout();
+        let mut guard = self.lanes.checkout()?;
         let lane = guard.lane();
         lane.ws.recycle(std::mem::take(&mut fact.data));
         // The replaced report's trace buffer feeds the new recording, so
@@ -358,6 +412,9 @@ impl SymbolicCholesky {
                 // the (failed) current state.
                 fact.info = FactorInfo::default();
                 fact.valid = false;
+                if e.is_device() {
+                    guard.quarantine();
+                }
                 Err(e)
             }
         }
@@ -382,18 +439,89 @@ impl SymbolicCholesky {
     }
 
     /// Usage counters of the workspace lane pool (lanes created, peak
-    /// concurrency, contended checkouts).
+    /// concurrency, contended checkouts, quarantined lanes).
     pub fn lane_stats(&self) -> LaneStats {
         self.lanes.stats()
     }
 
+    /// The handle's cancellation token: clone it to any thread, call
+    /// [`cancel`](CancelToken::cancel), and every in-flight
+    /// factorization aborts with [`FactorError::Cancelled`] at its next
+    /// executor checkpoint ([`batch_factor`](Self::batch_factor) also
+    /// skips slots it has not started). [`reset`](CancelToken::reset)
+    /// re-opens the handle for further work.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Scatters `a`'s values into the lane's factor-ordered matrix and
+    /// runs the engine under the degradation policy: transient device
+    /// faults retry on the same engine (bounded by the handle's
+    /// [`RetryPolicy`]), persistent device failures move down the
+    /// fallback chain reusing the already-scattered values, and data or
+    /// control errors surface immediately. Every step lands in
+    /// [`FactorInfo::recovery`].
     fn run_engine(&self, lane: &mut Lane, a: &SymCsc) -> Result<Factorization, FactorError> {
         let Lane { ws, a_fact } = lane;
         let src = a.values();
         for (dst, &from) in a_fact.values_mut().iter_mut().zip(&self.value_map) {
             *dst = src[from];
         }
-        let run = self.engine.factor(&self.sym, a_fact, ws)?;
+        // One arming per factorization: the wall budget spans retries
+        // and fallbacks (the attempts are one user-visible call), while
+        // the simulated budget is checked per attempt against each
+        // attempt's fresh device clock.
+        ws.ctl = RunCtl::armed(self.deadline, self.cancel.clone());
+        let mut recovery: Vec<RecoveryEvent> = Vec::new();
+        let mut step = 0usize; // 0 = primary engine, 1.. = chain index
+        let run = 'chain: loop {
+            let (method, engine) = if step == 0 {
+                (self.method, self.engine)
+            } else {
+                self.chain[step - 1]
+            };
+            let mut attempt = 0u32;
+            loop {
+                // Deadline/cancel strike between attempts too, so a
+                // retry/fallback loop over CPU engines (which have no
+                // internal checkpoints) still honors the budget.
+                if let Err(e) = ws.ctl.check() {
+                    break 'chain Err(e);
+                }
+                let err = match engine.factor(&self.sym, a_fact, ws) {
+                    Ok(run) => break 'chain Ok(run),
+                    Err(e) => e,
+                };
+                if err.is_transient() && attempt < self.retry.max_retries {
+                    recovery.push(RecoveryEvent {
+                        method,
+                        attempt,
+                        action: RecoveryAction::Retried,
+                        error: err,
+                    });
+                    attempt += 1;
+                    if !self.retry.backoff.is_zero() {
+                        std::thread::sleep(self.retry.backoff);
+                    }
+                    continue;
+                }
+                if err.is_device() && step < self.chain.len() {
+                    recovery.push(RecoveryEvent {
+                        method,
+                        attempt,
+                        action: RecoveryAction::FellBack {
+                            to: self.chain[step].0,
+                        },
+                        error: err,
+                    });
+                    step += 1;
+                    continue 'chain;
+                }
+                break 'chain Err(err);
+            }
+        };
+        let mut run = run?;
+        run.info.recovery = recovery;
         Ok(Factorization {
             data: run.factor,
             info: run.info,
@@ -565,8 +693,11 @@ impl SymbolicCholesky {
     /// Solves with iterative refinement on the in-place path, writing
     /// the solution into `x`; returns the final `‖b − A x‖∞`. Stops
     /// early when the residual stops improving (keeping the best
-    /// iterate) or hits exactly zero. Zero heap allocations once `ws`
-    /// is warm.
+    /// iterate) or hits exactly zero; a NaN/Inf residual is the typed
+    /// [`SolveError::NonFinite`] — non-finite inputs (or a corrupted
+    /// factor) cannot converge, and a serving loop should reject the
+    /// request rather than return a silently poisoned solution. Zero
+    /// heap allocations once `ws` is warm.
     pub fn solve_refined(
         &self,
         fact: &Factorization,
@@ -590,10 +721,16 @@ impl SymbolicCholesky {
         let corr = &mut corr[..n];
         self.solve_perm(fact, b, x, perm)?;
         let mut last = f64::INFINITY;
-        for _ in 0..max_iters {
+        for iteration in 0..max_iters {
             a.matvec(x, resid);
             for i in 0..n {
                 resid[i] = b[i] - resid[i];
+            }
+            // `f64::max` ignores NaN, so an all-NaN residual would fold
+            // to 0.0 and read as converged; sum the absolute values
+            // first (NaN-propagating) to catch any non-finite entry.
+            if !resid.iter().map(|v| v.abs()).sum::<f64>().is_finite() {
+                return Err(SolveError::NonFinite { iteration });
             }
             let norm = resid.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
             if norm >= last || norm == 0.0 {

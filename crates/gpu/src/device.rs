@@ -4,6 +4,7 @@ use parking_lot::Mutex;
 use rlchol_perfmodel::{GpuModel, TraceOp};
 
 use crate::error::GpuError;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::stats::{GpuStats, StreamStats};
 
 /// Stream-pair count for the pipelined engines: `RLCHOL_STREAMS` if set
@@ -57,6 +58,56 @@ struct State {
     /// Reused triangle copy for [`Gpu::trsm_panel`]; grows to the largest
     /// diagonal block so repeated panel TRSMs allocate nothing.
     l11_scratch: Vec<f64>,
+    faults: FaultState,
+}
+
+/// Per-device fault-injection bookkeeping: the installed plan plus the
+/// per-kind operation ordinals it is matched against (see
+/// [`crate::faults`] for the ordinal semantics). Counters start at zero
+/// per device, which is what makes a plan deterministic per run.
+#[derive(Default)]
+struct FaultState {
+    plan: Option<FaultPlan>,
+    transfer_ops: u64,
+    kernel_ops: u64,
+    stream_ops: u64,
+}
+
+impl FaultState {
+    /// Advances the transfer ordinal; `Some` if the plan strikes it.
+    fn next_transfer(&mut self) -> Option<GpuError> {
+        let idx = self.transfer_ops;
+        self.transfer_ops += 1;
+        self.plan
+            .as_ref()
+            .and_then(|p| p.strike(FaultKind::TransferFail, idx))
+            .map(GpuError::Fault)
+    }
+
+    /// Advances the kernel ordinal; `Some` if the plan strikes it.
+    fn next_kernel(&mut self) -> Option<GpuError> {
+        let idx = self.kernel_ops;
+        self.kernel_ops += 1;
+        self.plan
+            .as_ref()
+            .and_then(|p| p.strike(FaultKind::KernelFault, idx))
+            .map(GpuError::Fault)
+    }
+
+    /// `Some` if the plan turns allocation ordinal `idx` into an OOM.
+    fn alloc_fault(&self, idx: u64) -> Option<GpuError> {
+        self.plan
+            .as_ref()
+            .and_then(|p| p.strike(FaultKind::DeviceOom, idx))
+            .map(GpuError::Fault)
+    }
+
+    /// Advances the stream-op ordinal; extra stall seconds for this op.
+    fn next_stall(&mut self) -> f64 {
+        let idx = self.stream_ops;
+        self.stream_ops += 1;
+        self.plan.as_ref().map_or(0.0, |p| p.stall(idx))
+    }
 }
 
 /// The simulated GPU.
@@ -84,8 +135,28 @@ impl Gpu {
                     ..GpuStats::default()
                 },
                 l11_scratch: Vec::new(),
+                faults: FaultState::default(),
             }),
         }
+    }
+
+    /// [`Gpu::new`] with a fault-injection plan installed (operation
+    /// ordinals start at zero on the fresh device).
+    pub fn with_faults(model: GpuModel, plan: FaultPlan) -> Self {
+        let gpu = Gpu::new(model);
+        gpu.set_faults(Some(plan));
+        gpu
+    }
+
+    /// Installs (or clears) the fault-injection plan. The per-kind
+    /// operation ordinals are reset so the plan's indices count from the
+    /// next operation.
+    pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        let mut st = self.state.lock();
+        st.faults = FaultState {
+            plan: plan.filter(|p| !p.is_empty()),
+            ..FaultState::default()
+        };
     }
 
     /// The model this device simulates.
@@ -117,6 +188,11 @@ impl Gpu {
     pub fn alloc(&self, len: usize) -> Result<Buffer, GpuError> {
         let bytes = (len * 8) as u64;
         let mut st = self.state.lock();
+        let ordinal = st.stats.alloc_count;
+        st.stats.alloc_count += 1;
+        if let Some(err) = st.faults.alloc_fault(ordinal) {
+            return Err(err);
+        }
         if st.stats.used_bytes + bytes > self.model.memory_capacity {
             return Err(GpuError::OutOfMemory {
                 requested_bytes: bytes,
@@ -253,9 +329,12 @@ impl Gpu {
     ) -> Result<(), GpuError> {
         let mut st = self.state.lock();
         Self::check_range(&st, buf, offset, src.len())?;
+        if let Some(err) = st.faults.next_transfer() {
+            return Err(err);
+        }
         let bytes = src.len() * 8;
         st.buffers[buf.id].as_mut().unwrap()[offset..offset + src.len()].copy_from_slice(src);
-        let dur = self.model.transfer_time(bytes);
+        let dur = self.model.transfer_time(bytes) + st.faults.next_stall();
         st.stats.h2d_count += 1;
         st.stats.h2d_bytes += bytes as u64;
         st.stats.transfer_seconds += dur;
@@ -280,9 +359,12 @@ impl Gpu {
     ) -> Result<(), GpuError> {
         let mut st = self.state.lock();
         Self::check_range(&st, buf, offset, dst.len())?;
+        if let Some(err) = st.faults.next_transfer() {
+            return Err(err);
+        }
         let bytes = dst.len() * 8;
         dst.copy_from_slice(&st.buffers[buf.id].as_ref().unwrap()[offset..offset + dst.len()]);
-        let dur = self.model.transfer_time(bytes);
+        let dur = self.model.transfer_time(bytes) + st.faults.next_stall();
         st.stats.d2h_count += 1;
         st.stats.d2h_bytes += bytes as u64;
         st.stats.transfer_seconds += dur;
@@ -293,7 +375,7 @@ impl Gpu {
     }
 
     fn launch(&self, st: &mut State, stream: StreamId, op: TraceOp) {
-        let dur = self.model.kernel_time(&op);
+        let dur = self.model.kernel_time(&op) + st.faults.next_stall();
         st.stats.kernel_launches += 1;
         st.stats.kernel_seconds += dur;
         st.stats.per_stream[stream.0].kernel_launches += 1;
@@ -313,6 +395,9 @@ impl Gpu {
         let mut st = self.state.lock();
         if n > 0 {
             Self::check_range(&st, buf, offset, (n - 1) * ld + n)?;
+        }
+        if let Some(err) = st.faults.next_kernel() {
+            return Err(err);
         }
         let data = st.buffers[buf.id].as_mut().unwrap();
         rlchol_dense::potrf(n, &mut data[offset..], ld)
@@ -337,6 +422,9 @@ impl Gpu {
         let mut st = self.state.lock();
         if c > 0 && m > 0 {
             Self::check_range(&st, buf, offset, (c - 1) * ld + c + m)?;
+        }
+        if let Some(err) = st.faults.next_kernel() {
+            return Err(err);
         }
         // The diagonal block and the panel interleave by columns; copy the
         // triangle out (exactly what the blocked host POTRF does) into the
@@ -382,6 +470,9 @@ impl Gpu {
                 Self::check_range(&st, a_buf, a_off, (k - 1) * lda + n)?;
             }
             Self::check_range(&st, c_buf, c_off, (n - 1) * ldc + n)?;
+        }
+        if let Some(err) = st.faults.next_kernel() {
+            return Err(err);
         }
         let mut c_data = st.buffers[c_buf.id]
             .take()
@@ -434,6 +525,9 @@ impl Gpu {
             Self::check_range(&st, a_buf, a_off, (k - 1) * lda + m)?;
             Self::check_range(&st, b_buf, b_off, (k - 1) * ldb + n)?;
             Self::check_range(&st, c_buf, c_off, (n - 1) * ldc + m)?;
+        }
+        if let Some(err) = st.faults.next_kernel() {
+            return Err(err);
         }
         let mut c_data = st.buffers[c_buf.id]
             .take()
@@ -614,6 +708,98 @@ mod tests {
             gpu.memcpy_h2d(s, buf, 0, &src[..1]),
             Err(GpuError::InvalidBuffer { .. })
         ));
+    }
+
+    #[test]
+    fn injected_faults_strike_the_planned_ordinals() {
+        use crate::faults::{DeviceError, FaultKind, FaultPlan};
+        let model = perlmutter_gpu();
+
+        // oom@1: the second allocation fails, the first succeeds.
+        let gpu = Gpu::with_faults(model, FaultPlan::new().oom_at(1));
+        gpu.alloc(8).unwrap();
+        assert!(matches!(
+            gpu.alloc(8),
+            Err(GpuError::Fault(DeviceError {
+                kind: FaultKind::DeviceOom,
+                index: 1,
+                ..
+            }))
+        ));
+        assert_eq!(gpu.stats().alloc_count, 2);
+
+        // transfer@1: H2D and D2H share the ordinal space; no data moves.
+        let gpu = Gpu::with_faults(model, FaultPlan::new().transfer_at(1));
+        let s = gpu.default_stream();
+        let buf = gpu.alloc(4).unwrap();
+        gpu.memcpy_h2d(s, buf, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut back = [0.0; 4];
+        assert!(matches!(
+            gpu.memcpy_d2h(s, buf, 0, &mut back),
+            Err(GpuError::Fault(DeviceError {
+                kind: FaultKind::TransferFail,
+                index: 1,
+                ..
+            }))
+        ));
+        assert_eq!(back, [0.0; 4], "failed transfer must not move data");
+
+        // kernel@1: potrf succeeds, the following trsm faults before
+        // touching the panel.
+        let gpu = Gpu::with_faults(model, FaultPlan::new().kernel_at(1));
+        let s = gpu.default_stream();
+        let buf = gpu.alloc(6).unwrap();
+        gpu.memcpy_h2d(s, buf, 0, &[4.0, 1.0, 1.0, 0.0, 9.0, 2.0])
+            .unwrap();
+        gpu.potrf(s, buf, 0, 2, 3).unwrap();
+        let mut snap = [0.0; 6];
+        gpu.memcpy_d2h(s, buf, 0, &mut snap).unwrap();
+        assert!(matches!(
+            gpu.trsm_panel(s, buf, 0, 3, 2, 1),
+            Err(GpuError::Fault(DeviceError {
+                kind: FaultKind::KernelFault,
+                index: 1,
+                ..
+            }))
+        ));
+        let mut after = [0.0; 6];
+        gpu.memcpy_d2h(s, buf, 0, &mut after).unwrap();
+        assert_eq!(snap, after, "faulted kernel must not run numerics");
+
+        // stall@N adds simulated time without failing the op.
+        let gpu = Gpu::new(model);
+        let s = gpu.default_stream();
+        let buf = gpu.alloc(4).unwrap();
+        gpu.memcpy_h2d(s, buf, 0, &[0.0; 4]).unwrap();
+        gpu.synchronize();
+        let clean = gpu.elapsed();
+        let gpu = Gpu::with_faults(model, FaultPlan::new().stall_at(0, 2.5));
+        let s = gpu.default_stream();
+        let buf = gpu.alloc(4).unwrap();
+        gpu.memcpy_h2d(s, buf, 0, &[0.0; 4]).unwrap();
+        gpu.synchronize();
+        assert!((gpu.elapsed() - clean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_fault_spares_a_rebuilt_device() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan::new().kernel_at(0).transient();
+        let model = perlmutter_gpu();
+        let gpu = Gpu::with_faults(model, plan.clone());
+        let s = gpu.default_stream();
+        let buf = gpu.alloc(4).unwrap();
+        gpu.memcpy_h2d(s, buf, 0, &[4.0, 1.0, 1.0, 3.0]).unwrap();
+        assert!(matches!(
+            gpu.potrf(s, buf, 0, 2, 2),
+            Err(GpuError::Fault(_))
+        ));
+        // A retry on a fresh device built from the same plan succeeds.
+        let gpu = Gpu::with_faults(model, plan);
+        let s = gpu.default_stream();
+        let buf = gpu.alloc(4).unwrap();
+        gpu.memcpy_h2d(s, buf, 0, &[4.0, 1.0, 1.0, 3.0]).unwrap();
+        gpu.potrf(s, buf, 0, 2, 2).unwrap();
     }
 
     #[test]

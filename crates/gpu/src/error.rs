@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::faults::DeviceError;
+
 /// Failures surfaced by the device API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GpuError {
@@ -24,6 +26,9 @@ pub enum GpuError {
     },
     /// A kernel reported a numerical failure (e.g. POTRF pivot).
     Numerical(String),
+    /// An injected fault from the device's [`FaultPlan`](crate::FaultPlan)
+    /// struck this operation (fault-injection testing).
+    Fault(DeviceError),
 }
 
 impl fmt::Display for GpuError {
@@ -48,6 +53,7 @@ impl fmt::Display for GpuError {
                 "device access out of bounds: buffer {id} ({buffer_len} elems), offset {offset}, len {len}"
             ),
             GpuError::Numerical(msg) => write!(f, "device kernel failure: {msg}"),
+            GpuError::Fault(e) => write!(f, "{e}"),
         }
     }
 }

@@ -1,0 +1,482 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`]s, each naming a fault kind
+//! and the **ordinal** of the device operation it strikes. Ordinals are
+//! per-kind counters maintained by the [`Gpu`](crate::Gpu) runtime:
+//!
+//! * `oom@N` — the `N`-th call to [`alloc`](crate::Gpu::alloc) fails as
+//!   if the device were out of memory;
+//! * `transfer@N` — the `N`-th transfer (H2D and D2H share one counter)
+//!   fails before any data moves;
+//! * `kernel@N` — the `N`-th kernel launch faults before any numerics
+//!   run, so device state is never half-written;
+//! * `stall@N=SECS` — the `N`-th stream operation (transfers and kernels
+//!   share one counter) takes `SECS` extra simulated seconds. Stalls do
+//!   not fail the call; they exist to trip simulated-time deadlines.
+//!
+//! Counters start at zero when the `Gpu` is built, so the same plan on
+//! the same workload strikes the same operation every run — the property
+//! the fault-sweep suite relies on.
+//!
+//! A spec marked **transient** (`:t` suffix) fires once per plan: the
+//! fired flag is shared across [`Clone`]s, so a retry that rebuilds the
+//! device from the same plan sails past the fault. Persistent specs fire
+//! on every device whose ordinal reaches them — a fallback engine
+//! replaying a similar schedule hits them again, as real broken hardware
+//! would.
+//!
+//! ## `RLCHOL_FAULTS` grammar
+//!
+//! Comma-separated specs, parsed by [`FaultPlan::parse`]:
+//!
+//! ```text
+//! transfer@3         fail the 4th transfer (persistent)
+//! kernel@0:t         fail the 1st kernel launch, once (transient)
+//! oom@2              fail the 3rd device allocation
+//! stall@5=0.25       add 0.25 simulated seconds to the 6th stream op
+//! seed@42#8/100      8 pseudo-random faults over ordinals [0, 100)
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The class of device operation a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A memory transfer (either direction) fails.
+    TransferFail,
+    /// A kernel launch faults before executing.
+    KernelFault,
+    /// A device allocation fails as out-of-memory.
+    DeviceOom,
+    /// A stream operation takes extra simulated time (never fails).
+    StreamStall,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::TransferFail => "transfer failure",
+            FaultKind::KernelFault => "kernel fault",
+            FaultKind::DeviceOom => "device out-of-memory",
+            FaultKind::StreamStall => "stream stall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One planned fault: strike the `index`-th operation of `kind`'s class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What fails.
+    pub kind: FaultKind,
+    /// Zero-based ordinal within the kind's operation class.
+    pub index: u64,
+    /// Transient faults fire once per plan; a retry succeeds.
+    pub transient: bool,
+    /// Extra simulated seconds for [`FaultKind::StreamStall`] (ignored
+    /// for the failing kinds).
+    pub stall_seconds: f64,
+}
+
+/// A fault injected by the runtime, carried inside
+/// [`GpuError::Fault`](crate::GpuError::Fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceError {
+    /// What failed.
+    pub kind: FaultKind,
+    /// The ordinal that was struck.
+    pub index: u64,
+    /// Whether the underlying spec was transient (a retry may succeed).
+    pub transient: bool,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} at {} op #{}{}",
+            self.kind,
+            match self.kind {
+                FaultKind::TransferFail => "transfer",
+                FaultKind::KernelFault => "kernel",
+                FaultKind::DeviceOom => "alloc",
+                FaultKind::StreamStall => "stream",
+            },
+            self.index,
+            if self.transient { " (transient)" } else { "" }
+        )
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A deterministic schedule of injected faults.
+///
+/// Build one with the `*_at` methods, [`FaultPlan::seeded`], or
+/// [`FaultPlan::parse`], then install it via
+/// [`Gpu::with_faults`](crate::Gpu::with_faults) /
+/// [`Gpu::set_faults`](crate::Gpu::set_faults) — in the solver stack,
+/// through `GpuOptions::faults` or the `RLCHOL_FAULTS` environment
+/// variable. Clones share the transient-fired flags.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    entries: Vec<FaultSpec>,
+    fired: Arc<[AtomicBool]>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            entries: Vec::new(),
+            fired: Vec::new().into(),
+        }
+    }
+}
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn entries(&self) -> &[FaultSpec] {
+        &self.entries
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn push(mut self, spec: FaultSpec) -> Self {
+        self.entries.push(spec);
+        self.fired = self
+            .entries
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        self
+    }
+
+    /// Fails the `index`-th transfer (H2D and D2H share the counter).
+    pub fn transfer_at(self, index: u64) -> Self {
+        self.push(FaultSpec {
+            kind: FaultKind::TransferFail,
+            index,
+            transient: false,
+            stall_seconds: 0.0,
+        })
+    }
+
+    /// Faults the `index`-th kernel launch.
+    pub fn kernel_at(self, index: u64) -> Self {
+        self.push(FaultSpec {
+            kind: FaultKind::KernelFault,
+            index,
+            transient: false,
+            stall_seconds: 0.0,
+        })
+    }
+
+    /// Fails the `index`-th device allocation as out-of-memory.
+    pub fn oom_at(self, index: u64) -> Self {
+        self.push(FaultSpec {
+            kind: FaultKind::DeviceOom,
+            index,
+            transient: false,
+            stall_seconds: 0.0,
+        })
+    }
+
+    /// Adds `seconds` of simulated time to the `index`-th stream
+    /// operation.
+    pub fn stall_at(self, index: u64, seconds: f64) -> Self {
+        self.push(FaultSpec {
+            kind: FaultKind::StreamStall,
+            index,
+            transient: false,
+            stall_seconds: seconds,
+        })
+    }
+
+    /// Marks the most recently added spec transient (fires once per
+    /// plan; shared across clones, so a retry succeeds).
+    pub fn transient(mut self) -> Self {
+        if let Some(last) = self.entries.last_mut() {
+            last.transient = true;
+        }
+        self
+    }
+
+    /// `count` pseudo-random faults with ordinals in `[0, horizon)`,
+    /// fully determined by `seed` (xorshift64 — no external RNG).
+    pub fn seeded(seed: u64, count: usize, horizon: u64) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if state == 0 {
+            state = 0x2545_F491_4F6C_DD1D;
+        }
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let kind = match next() % 4 {
+                0 => FaultKind::TransferFail,
+                1 => FaultKind::KernelFault,
+                2 => FaultKind::DeviceOom,
+                _ => FaultKind::StreamStall,
+            };
+            let index = next() % horizon.max(1);
+            let transient = next() & 1 == 1;
+            plan = plan.push(FaultSpec {
+                kind,
+                index,
+                transient,
+                stall_seconds: if kind == FaultKind::StreamStall {
+                    0.25
+                } else {
+                    0.0
+                },
+            });
+        }
+        plan
+    }
+
+    /// Parses the `RLCHOL_FAULTS` grammar (see the module docs).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for tok in s.split(',') {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                continue;
+            }
+            let (head, tail) = tok
+                .split_once('@')
+                .ok_or_else(|| format!("fault spec `{tok}`: expected `kind@index`"))?;
+            if head == "seed" {
+                // seed@SEED[#COUNT[/HORIZON]]
+                let (seed_s, rest) = match tail.split_once('#') {
+                    Some((a, b)) => (a, Some(b)),
+                    None => (tail, None),
+                };
+                let seed: u64 = seed_s
+                    .parse()
+                    .map_err(|_| format!("fault spec `{tok}`: bad seed `{seed_s}`"))?;
+                let (count, horizon) = match rest {
+                    None => (1usize, 64u64),
+                    Some(r) => match r.split_once('/') {
+                        None => (
+                            r.parse()
+                                .map_err(|_| format!("fault spec `{tok}`: bad count `{r}`"))?,
+                            64,
+                        ),
+                        Some((c, h)) => (
+                            c.parse()
+                                .map_err(|_| format!("fault spec `{tok}`: bad count `{c}`"))?,
+                            h.parse()
+                                .map_err(|_| format!("fault spec `{tok}`: bad horizon `{h}`"))?,
+                        ),
+                    },
+                };
+                for spec in FaultPlan::seeded(seed, count, horizon).entries() {
+                    plan = plan.push(*spec);
+                }
+                continue;
+            }
+            let (mut rest, transient) = match tail.strip_suffix(":t") {
+                Some(r) => (r, true),
+                None => (tail, false),
+            };
+            let mut stall_seconds = 0.0;
+            let kind = match head {
+                "transfer" => FaultKind::TransferFail,
+                "kernel" => FaultKind::KernelFault,
+                "oom" => FaultKind::DeviceOom,
+                "stall" => {
+                    stall_seconds = 1.0;
+                    if let Some((idx, secs)) = rest.split_once('=') {
+                        stall_seconds = secs
+                            .parse()
+                            .map_err(|_| format!("fault spec `{tok}`: bad seconds `{secs}`"))?;
+                        rest = idx;
+                    }
+                    FaultKind::StreamStall
+                }
+                other => return Err(format!("fault spec `{tok}`: unknown kind `{other}`")),
+            };
+            let index: u64 = rest
+                .parse()
+                .map_err(|_| format!("fault spec `{tok}`: bad index `{rest}`"))?;
+            plan = plan.push(FaultSpec {
+                kind,
+                index,
+                transient,
+                stall_seconds,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Looks up a failing fault of `kind` at ordinal `index`; transient
+    /// matches consume their (clone-shared) fired flag.
+    pub(crate) fn strike(&self, kind: FaultKind, index: u64) -> Option<DeviceError> {
+        for (i, spec) in self.entries.iter().enumerate() {
+            if spec.kind != kind || spec.index != index {
+                continue;
+            }
+            if spec.transient && self.fired[i].swap(true, Ordering::Relaxed) {
+                continue; // already fired once; the retry succeeds
+            }
+            return Some(DeviceError {
+                kind,
+                index,
+                transient: spec.transient,
+            });
+        }
+        None
+    }
+
+    /// Total stall seconds planned for stream-op ordinal `index`
+    /// (transient stalls likewise fire once).
+    pub(crate) fn stall(&self, index: u64) -> f64 {
+        let mut total = 0.0;
+        for (i, spec) in self.entries.iter().enumerate() {
+            if spec.kind != FaultKind::StreamStall || spec.index != index {
+                continue;
+            }
+            if spec.transient && self.fired[i].swap(true, Ordering::Relaxed) {
+                continue;
+            }
+            total += spec.stall_seconds;
+        }
+        total
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPlan::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_record_specs() {
+        let plan = FaultPlan::new()
+            .transfer_at(3)
+            .kernel_at(0)
+            .transient()
+            .oom_at(2)
+            .stall_at(5, 0.25);
+        assert_eq!(plan.entries().len(), 4);
+        assert_eq!(plan.entries()[0].kind, FaultKind::TransferFail);
+        assert!(plan.entries()[1].transient);
+        assert_eq!(plan.entries()[3].stall_seconds, 0.25);
+    }
+
+    #[test]
+    fn strike_matches_kind_and_index() {
+        let plan = FaultPlan::new().kernel_at(2);
+        assert!(plan.strike(FaultKind::KernelFault, 1).is_none());
+        assert!(plan.strike(FaultKind::TransferFail, 2).is_none());
+        let e = plan.strike(FaultKind::KernelFault, 2).unwrap();
+        assert_eq!(e.index, 2);
+        assert!(!e.transient);
+        // Persistent faults fire again (a rebuilt device re-hits them).
+        assert!(plan.strike(FaultKind::KernelFault, 2).is_some());
+    }
+
+    #[test]
+    fn transient_fires_once_across_clones() {
+        let plan = FaultPlan::new().transfer_at(0).transient();
+        let clone = plan.clone();
+        assert!(plan.strike(FaultKind::TransferFail, 0).is_some());
+        // The clone shares the fired flag — the retry's device succeeds.
+        assert!(clone.strike(FaultKind::TransferFail, 0).is_none());
+    }
+
+    #[test]
+    fn stalls_accumulate_and_transient_stalls_expire() {
+        let plan = FaultPlan::new()
+            .stall_at(1, 0.5)
+            .stall_at(1, 0.25)
+            .stall_at(2, 1.0)
+            .transient();
+        assert_eq!(plan.stall(0), 0.0);
+        assert_eq!(plan.stall(1), 0.75);
+        assert_eq!(plan.stall(2), 1.0);
+        assert_eq!(plan.stall(2), 0.0);
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = FaultPlan::seeded(42, 8, 100);
+        let b = FaultPlan::seeded(42, 8, 100);
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.entries().len(), 8);
+        assert!(a.entries().iter().all(|s| s.index < 100));
+        let c = FaultPlan::seeded(43, 8, 100);
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    fn parse_round_trips_the_grammar() {
+        let plan = FaultPlan::parse("transfer@3, kernel@0:t, oom@2, stall@5=0.25").unwrap();
+        assert_eq!(plan.entries().len(), 4);
+        assert_eq!(
+            plan.entries()[0],
+            FaultSpec {
+                kind: FaultKind::TransferFail,
+                index: 3,
+                transient: false,
+                stall_seconds: 0.0
+            }
+        );
+        assert!(plan.entries()[1].transient);
+        assert_eq!(plan.entries()[2].kind, FaultKind::DeviceOom);
+        assert_eq!(plan.entries()[3].stall_seconds, 0.25);
+        // Stall without `=` defaults to one second.
+        let d = FaultPlan::parse("stall@0").unwrap();
+        assert_eq!(d.entries()[0].stall_seconds, 1.0);
+        // Seed expansion matches the builder.
+        let s = FaultPlan::parse("seed@42#8/100").unwrap();
+        assert_eq!(s.entries(), FaultPlan::seeded(42, 8, 100).entries());
+        assert_eq!(FaultPlan::parse("seed@7").unwrap().entries().len(), 1);
+        // Empty input is an empty plan.
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        // Errors are typed strings, not panics.
+        assert!(FaultPlan::parse("bogus@1").is_err());
+        assert!(FaultPlan::parse("kernel").is_err());
+        assert!(FaultPlan::parse("kernel@x").is_err());
+    }
+
+    #[test]
+    fn display_names_the_struck_op() {
+        let e = DeviceError {
+            kind: FaultKind::KernelFault,
+            index: 7,
+            transient: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("kernel fault"), "{s}");
+        assert!(s.contains("#7"), "{s}");
+        assert!(s.contains("transient"), "{s}");
+    }
+}

@@ -37,8 +37,10 @@
 
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod stats;
 
 pub use device::{default_streams, Buffer, Event, Gpu, StreamId};
 pub use error::GpuError;
+pub use faults::{DeviceError, FaultKind, FaultPlan, FaultSpec};
 pub use stats::{GpuStats, StreamStats};

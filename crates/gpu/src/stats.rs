@@ -27,6 +27,9 @@ impl StreamStats {
 pub struct GpuStats {
     /// Kernels launched.
     pub kernel_launches: u64,
+    /// Device allocations attempted (the ordinal space of `oom@N`
+    /// fault specs).
+    pub alloc_count: u64,
     /// Simulated seconds spent inside kernels (sum over streams).
     pub kernel_seconds: f64,
     /// Host-to-device copies issued.

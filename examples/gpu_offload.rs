@@ -74,6 +74,7 @@ fn main() {
         overlap: true,
         streams: 0,
         assign: None,
+        faults: None,
     };
     println!("\nGPU-accelerated engines (threshold = {threshold}, overlap on):");
     let runs = [

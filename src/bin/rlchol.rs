@@ -14,11 +14,16 @@
 //! Matrices are Matrix Market files (`coordinate real|pattern`,
 //! `symmetric` or `general` holding a symmetric matrix).
 
+use std::time::Duration;
+
 use rlchol::core::engine::{GpuOptions, Method};
 use rlchol::perfmodel::MachineModel;
 use rlchol::report::spy_lower;
 use rlchol::sparse::read_matrix_market;
-use rlchol::{CholeskySolver, OrderingMethod, SolveWorkspace, SolverOptions, SymCsc};
+use rlchol::{
+    CholeskySolver, Deadline, FallbackChain, FaultPlan, OrderingMethod, SolveWorkspace,
+    SolverOptions, SymCsc,
+};
 
 /// `--method` choices, generated from the engine registry.
 fn method_names() -> String {
@@ -34,7 +39,9 @@ fn usage() -> ! {
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
          [--method {}] \
          [--ordering nd|md|rcm|natural] [--solve-threads N] \
-         [--factor-lanes N] [--size N]",
+         [--factor-lanes N] [--size N] [--gpu-threshold N] \
+         [--faults SPEC[,SPEC...]] [--fallback auto|m1>m2>...] \
+         [--deadline-ms N]",
         method_names()
     );
     std::process::exit(2);
@@ -48,6 +55,10 @@ struct Args {
     size: usize,
     solve_threads: usize,
     factor_lanes: usize,
+    gpu_threshold: Option<usize>,
+    faults: Option<FaultPlan>,
+    fallback: Option<FallbackChain>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +70,10 @@ fn parse_args() -> Args {
     let mut size = 40usize;
     let mut solve_threads = 0usize;
     let mut factor_lanes = 0usize;
+    let mut gpu_threshold = None;
+    let mut faults = None;
+    let mut fallback = None;
+    let mut deadline_ms = None;
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -80,9 +95,31 @@ fn parse_args() -> Args {
             "--size" => size = value.parse().unwrap_or_else(|_| usage()),
             "--solve-threads" => solve_threads = value.parse().unwrap_or_else(|_| usage()),
             "--factor-lanes" => factor_lanes = value.parse().unwrap_or_else(|_| usage()),
+            // Supernode-size offload cutoff; 0 sends everything to the
+            // (simulated) device — handy with --faults.
+            "--gpu-threshold" => gpu_threshold = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--faults" => {
+                faults = Some(FaultPlan::parse(&value).unwrap_or_else(|e| {
+                    eprintln!("rlchol: bad --faults: {e}");
+                    usage()
+                }))
+            }
+            // Resolved after the loop: `auto` depends on the final --method.
+            "--fallback" => fallback = Some(value),
+            "--deadline-ms" => deadline_ms = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
+    let fallback = fallback.map(|v| {
+        if v == "auto" {
+            FallbackChain::recommended(method)
+        } else {
+            v.parse().unwrap_or_else(|e: String| {
+                eprintln!("rlchol: bad --fallback: {e}");
+                usage()
+            })
+        }
+    });
     Args {
         cmd,
         path,
@@ -91,6 +128,10 @@ fn parse_args() -> Args {
         size,
         solve_threads,
         factor_lanes,
+        gpu_threshold,
+        faults,
+        fallback,
+        deadline_ms,
     }
 }
 
@@ -110,13 +151,20 @@ fn solver_options(args: &Args) -> SolverOptions {
         method: args.method,
         gpu: GpuOptions {
             machine: MachineModel::perlmutter(64).scale_compute(24.0),
-            threshold: 12_000,
+            threshold: args.gpu_threshold.unwrap_or(12_000),
             overlap: true,
             streams: 0,
             assign: None,
+            faults: None,
         },
         solve_threads: args.solve_threads,
         factor_lanes: args.factor_lanes,
+        faults: args.faults.clone(),
+        fallback: args.fallback.clone().unwrap_or_default(),
+        deadline: match args.deadline_ms {
+            Some(ms) => Deadline::wall(Duration::from_millis(ms)),
+            None => Deadline::none(),
+        },
         ..SolverOptions::default()
     }
 }
@@ -185,11 +233,22 @@ fn main() {
                     stats.peak_bytes as f64 / 1e6
                 );
             }
+            if !info.recovery.is_empty() {
+                println!("recovery ({} event(s)):", info.recovery.len());
+                for event in &info.recovery {
+                    println!("  {event}");
+                }
+            }
             let lanes = handle.lane_stats();
             println!(
                 "workspace lanes: cap {}, created {}, peak in flight {}, \
-                 {} checkout(s), {} contended",
-                lanes.cap, lanes.created, lanes.peak_in_use, lanes.checkouts, lanes.contended
+                 {} checkout(s), {} contended, {} quarantined",
+                lanes.cap,
+                lanes.created,
+                lanes.peak_in_use,
+                lanes.checkouts,
+                lanes.contended,
+                lanes.quarantined
             );
         }
         "solve" => {

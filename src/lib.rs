@@ -107,6 +107,72 @@
 //! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 //!
+//! ## Resilience — faults, fallbacks, retries, deadlines
+//!
+//! Device work can fail. The (simulated) GPU runtime surfaces failed
+//! transfers, kernel faults, device OOM, and stream stalls as typed
+//! [`DeviceError`]s, and the staged handle carries a degradation policy
+//! that turns them into recoveries instead of lost factorizations:
+//!
+//! * [`SolverOptions::fallback`] — a [`FallbackChain`] of engines to
+//!   re-run a failed factorization on, in order
+//!   ([`FallbackChain::recommended`] ends every GPU engine's chain on a
+//!   CPU engine with no device failure modes; `"rl-gpu>rl-cpu"` parses
+//!   via `FromStr`).
+//! * [`SolverOptions::retry`] — a [`RetryPolicy`] granting *transient*
+//!   faults bounded retries on the same engine before the chain moves
+//!   on.
+//! * [`SolverOptions::deadline`] — a [`Deadline`] on wall-clock and/or
+//!   simulated seconds, checked inside the executors so a stalled
+//!   stream aborts with [`FactorError::DeadlineExceeded`] instead of
+//!   hanging; [`SymbolicCholesky::cancel_token`] cancels in-flight and
+//!   queued work from any thread ([`FactorError::Cancelled`]).
+//!
+//! Every recovery is recorded in [`FactorInfo::recovery`] as a
+//! [`RecoveryEvent`], a workspace lane struck by a device fault or a
+//! panic is **quarantined** (rebuilt on next checkout, counted in
+//! [`LaneStats::quarantined`]), and the contract holds under any fault
+//! schedule: a factorization returns a factor bit-identical to what the
+//! serving engine produces on a clean run, or a typed error — never a
+//! panic, a hang, or a silently wrong result.
+//!
+//! Faults are injected deterministically with a [`FaultPlan`]
+//! ([`SolverOptions::faults`], or the **`RLCHOL_FAULTS`** environment
+//! variable) using the grammar `transfer@N`, `kernel@N`, `oom@N`,
+//! `stall@N=SECS`, `seed@SEED[#COUNT[/HORIZON]]`, comma-separated; a
+//! `:t` suffix marks a fault transient (it fires once). Lane-checkout
+//! waits are bounded by **`RLCHOL_LANE_WAIT_MS`** (typed
+//! [`FactorError::LanesExhausted`] on expiry). The CLI mirrors all of
+//! this: `rlchol factor --faults kernel@3:t --fallback auto
+//! --deadline-ms 5000` prints each recovery event and the quarantine
+//! count.
+//!
+//! ```
+//! use rlchol::{
+//!     CholeskySolver, FallbackChain, FaultPlan, GpuOptions, Method, RecoveryAction,
+//!     RetryPolicy, SolverOptions,
+//! };
+//! use rlchol::matgen::{grid3d, Stencil};
+//!
+//! let a = grid3d(5, 5, 4, Stencil::Star7, 1, 11);
+//! let opts = SolverOptions {
+//!     method: Method::RlGpu,
+//!     gpu: GpuOptions::with_threshold(0), // offload everything
+//!     // Deterministic injected fault: the 4th kernel launch fails, once.
+//!     faults: Some(FaultPlan::parse("kernel@3:t").unwrap()),
+//!     retry: RetryPolicy::retries(1),
+//!     fallback: FallbackChain::recommended(Method::RlGpu),
+//!     ..SolverOptions::default()
+//! };
+//! let handle = CholeskySolver::analyze(&a, &opts);
+//! let fact = handle.factor_with(&a).unwrap();
+//! // The transient fault was retried on the same engine, and the
+//! // result is bit-identical to a clean run.
+//! assert!(matches!(fact.info().recovery[0].action, RecoveryAction::Retried));
+//! let clean = CholeskySolver::factor(&a, &SolverOptions { faults: None, ..opts.clone() }).unwrap();
+//! assert_eq!(fact.data(), clean.factor_data());
+//! ```
+//!
 //! ## Engines
 //!
 //! Numeric factorization dispatches through the
@@ -174,9 +240,11 @@ pub use rlchol_symbolic as symbolic;
 
 pub use rlchol_core::engine::{GpuOptions, Method};
 pub use rlchol_core::{
-    CholeskySolver, FactorData, FactorError, FactorInfo, Factorization, LaneStats, SolveWorkspace,
-    SolverOptions, SymbolicCholesky,
+    CancelToken, CholeskySolver, Deadline, FactorData, FactorError, FactorInfo, Factorization,
+    FallbackChain, LaneStats, RecoveryAction, RecoveryEvent, RetryPolicy, SolveError,
+    SolveWorkspace, SolverOptions, SymbolicCholesky,
 };
+pub use rlchol_gpu::{DeviceError, FaultKind, FaultPlan, FaultSpec};
 pub use rlchol_ordering::OrderingMethod;
 pub use rlchol_sparse::{SymCsc, TripletMatrix};
 pub use rlchol_symbolic::{SymbolicFactor, SymbolicOptions};

@@ -26,6 +26,7 @@ fn gpu_opts(threshold: usize) -> GpuOptions {
         overlap: true,
         streams: 0,
         assign: None,
+        faults: None,
     }
 }
 

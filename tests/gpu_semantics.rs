@@ -27,6 +27,7 @@ fn opts(threshold: usize) -> GpuOptions {
         overlap: true,
         streams: 0,
         assign: None,
+        faults: None,
     }
 }
 

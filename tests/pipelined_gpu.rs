@@ -37,7 +37,7 @@ fn check_bit_identical(a: &SymCsc, label: &str) {
         let rlb = factor_rlb_gpu(&sym, &ap, &opts, RlbGpuVersion::V1).unwrap();
         for streams in STREAM_SWEEP {
             for assign in [StreamAssign::RoundRobin, StreamAssign::LeastLoaded] {
-                let o = opts.with_streams(streams).with_assign(assign);
+                let o = opts.clone().with_streams(streams).with_assign(assign);
                 let rl_pipe = factor_rl_gpu_pipe(&sym, &ap, &o).unwrap();
                 assert_eq!(rl_pipe.streams_used, streams, "{label} thr {threshold}");
                 assert_eq!(
@@ -74,7 +74,7 @@ fn multi_stream_pipelining_speeds_up_the_simulated_clock() {
     let opts = GpuOptions::with_threshold(0);
     let mut prev = f64::INFINITY;
     for (i, streams) in STREAM_SWEEP.into_iter().enumerate() {
-        let t = factor_rl_gpu_pipe(&sym, &ap, &opts.with_streams(streams))
+        let t = factor_rl_gpu_pipe(&sym, &ap, &opts.clone().with_streams(streams))
             .unwrap()
             .sim_seconds;
         if i == 1 {

@@ -51,7 +51,9 @@ fn opts_for(method: Method, lanes: usize) -> SolverOptions {
 }
 
 /// Runs the hammer for one engine × lane cap; panics on any mismatch.
-fn hammer(method: Method, lanes: usize) {
+/// Returns the pool stats so callers can check timing-dependent
+/// counters (contention) with a retry instead of a flaky one-shot.
+fn hammer(method: Method, lanes: usize) -> rlchol::LaneStats {
     let opts = opts_for(method, lanes);
     let a0 = matrix(value_seed(0, 0));
     let handle = Arc::new(CholeskySolver::analyze(&a0, &opts));
@@ -127,12 +129,7 @@ fn hammer(method: Method, lanes: usize) {
         (THREADS * ITERS) as u64,
         "{method:?}: every factor_with checks out exactly one lane"
     );
-    if lanes == 1 {
-        assert!(
-            stats.contended > 0,
-            "{method:?}: 8 threads over 1 lane must contend: {stats:?}"
-        );
-    }
+    stats
 }
 
 #[test]
@@ -145,8 +142,27 @@ fn eight_threads_on_one_handle_match_serial_for_every_engine() {
 #[test]
 fn contended_lane_caps_serialize_without_losing_results() {
     for lanes in [1, 2] {
-        hammer(Method::RlCpu, lanes);
-        hammer(Method::RlbGpuPipe, lanes);
+        for method in [Method::RlCpu, Method::RlbGpuPipe] {
+            let stats = hammer(method, lanes);
+            if lanes == 1 && stats.contended == 0 {
+                // 8 threads over 1 lane virtually always collide, but an
+                // oversubscribed test machine can serialize the workers
+                // so no checkout ever blocks. The correctness assertions
+                // above already ran; re-hammer for the contention signal
+                // instead of failing on scheduler timing. On a single
+                // hardware thread the tiny factorizations can genuinely
+                // never overlap a checkout, so only demand the signal
+                // when real parallelism exists.
+                let retried = (0..3)
+                    .map(|_| hammer(method, lanes))
+                    .any(|s| s.contended > 0);
+                let single_core = std::thread::available_parallelism().is_ok_and(|p| p.get() == 1);
+                assert!(
+                    retried || single_core,
+                    "{method:?}: 8 threads over 1 lane never contended in 4 runs"
+                );
+            }
+        }
     }
 }
 
@@ -181,6 +197,82 @@ fn batch_factor_with_pool_reentrant_engine_does_not_deadlock() {
             "batch slot {slot} differs from serial"
         );
     }
+}
+
+#[test]
+fn a_midstream_fault_quarantines_one_lane_without_poisoning_the_rest() {
+    // Concurrency × fault injection: a transient device fault fires on
+    // exactly one of 24 concurrent factorizations (the fired flag is
+    // shared across the handle's lanes). That one call fails typed and
+    // its lane is quarantined; every other call — including those that
+    // land on the freshly rebuilt lane — must stay bit-identical to the
+    // serial path.
+    use rlchol::FaultPlan;
+
+    const FT_THREADS: usize = 4;
+    const FT_ITERS: usize = 6;
+    let opts = SolverOptions {
+        method: Method::RlGpu,
+        gpu: GpuOptions::with_threshold(0),
+        factor_lanes: 2,
+        faults: Some(FaultPlan::parse("kernel@2:t").unwrap()),
+        ..SolverOptions::default()
+    };
+    let clean = SolverOptions {
+        faults: None,
+        ..opts.clone()
+    };
+    let a0 = matrix(value_seed(0, 0));
+    let handle = Arc::new(CholeskySolver::analyze(&a0, &opts));
+
+    let mut reference: HashMap<u64, FactorData> = HashMap::new();
+    for t in 0..FT_THREADS {
+        for i in 0..FT_ITERS {
+            let seed = value_seed(t, i);
+            let fresh = CholeskySolver::factor(&matrix(seed), &clean).expect("SPD input");
+            reference.insert(seed, fresh.factor_data().clone());
+        }
+    }
+    let reference = Arc::new(reference);
+
+    let faults = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let workers: Vec<_> = (0..FT_THREADS)
+        .map(|t| {
+            let handle = Arc::clone(&handle);
+            let reference = Arc::clone(&reference);
+            let faults = Arc::clone(&faults);
+            std::thread::spawn(move || {
+                for i in 0..FT_ITERS {
+                    let seed = value_seed(t, i);
+                    match handle.factor_with(&matrix(seed)) {
+                        Ok(fact) => assert_eq!(
+                            fact.data(),
+                            &reference[&seed],
+                            "t{t} i{i}: factor differs from serial after a sibling fault"
+                        ),
+                        Err(FactorError::DeviceFault(d)) => {
+                            assert!(d.transient, "the planned fault is transient");
+                            faults.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("t{t} i{i}: unexpected error {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("fault-injected stress worker panicked");
+    }
+
+    // The transient spec fires exactly once across the whole handle.
+    assert_eq!(faults.load(std::sync::atomic::Ordering::Relaxed), 1);
+    let stats = handle.lane_stats();
+    assert_eq!(
+        stats.quarantined, 1,
+        "the struck lane was quarantined: {stats:?}"
+    );
+    assert_eq!(stats.in_use, 0, "no lane leaked: {stats:?}");
+    assert_eq!(stats.checkouts, (FT_THREADS * FT_ITERS) as u64);
 }
 
 #[test]
