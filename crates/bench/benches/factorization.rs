@@ -40,6 +40,8 @@ fn bench_factorization(c: &mut Criterion) {
         streams: 0,
         assign: None,
         faults: None,
+        retire: None,
+        lookahead: None,
     };
     g.bench_function("rl_gpu_sim", |b| {
         b.iter(|| factor_rl_gpu(&sym, &a, &opts).unwrap())

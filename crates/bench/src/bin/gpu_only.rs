@@ -57,7 +57,7 @@ fn main() {
         eprintln!("done {}", entry.name);
     }
     println!("{}", t.render());
-    println!("per-stream device timelines (stream 0 = compute, 1 = copy):");
+    println!("per-stream device timelines (roles tagged per stream):");
     for b in &breakdowns {
         println!("{b}");
     }

@@ -1,23 +1,43 @@
-//! Stream-count sweep of the pipelined multi-stream GPU engines on a
-//! 3-D grid problem (nested-dissection ordered, so the supernodal
-//! elimination tree has real breadth to pipeline over).
+//! Stream-count × retirement-mode sweep of the pipelined multi-stream
+//! GPU engines on a 3-D grid problem (nested-dissection ordered, so the
+//! supernodal elimination tree has real breadth to pipeline over).
 //!
-//! Prints a table and writes `BENCH_gpu_streams.json` (simulated elapsed
-//! seconds plus per-stream utilization for each configuration) so
+//! Every stream count runs under both retirement disciplines — in-order
+//! (ascending supernode retirement) and out-of-order (retire on
+//! device→host copy landing, per-target sequencing) — side by side, and
+//! an extra sweep pins the out-of-order lookahead window at several
+//! sizes against the adaptive controller. Prints tables and writes
+//! `BENCH_gpu_streams.json` (simulated elapsed seconds plus
+//! compute/copy-split stream utilization for each configuration) so
 //! successive PRs can track the pipelining trajectory. The acceptance
-//! shape: elapsed strictly decreasing from 1 to 2 streams.
+//! shape: out-of-order at 8 streams beats in-order at 8 streams, and
+//! the factors are identical between the modes at every stream count.
 //!
 //! Usage: `gpu_streams [k] [out.json]` — `k` is the grid edge (default
 //! 20; use a smaller k for a quick smoke run). Everything is offloaded
 //! (threshold 0), the regime where the device pipeline matters most.
 
-use rlchol_core::engine::{GpuOptions, GpuRun, Method};
+use rlchol_core::engine::{GpuOptions, GpuRun, Method, RetireMode};
 use rlchol_core::sched::{factor_rl_gpu_pipe, factor_rlb_gpu_pipe};
+use rlchol_gpu::StreamRole;
 use rlchol_matgen::{grid3d, Stencil};
 use rlchol_ordering::{order, OrderingMethod};
 use rlchol_symbolic::{analyze, SymbolicOptions};
 
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Pinned lookahead windows swept at the widest stream count; 0 is the
+/// adaptive controller.
+const LOOKAHEADS: [usize; 5] = [0, 4, 8, 16, 32];
+
+/// Mean utilization of the streams tagged `role` over the run.
+fn role_mean(run: &GpuRun, role: StreamRole) -> f64 {
+    let per = run.stats.role_utilization(run.sim_seconds, role);
+    if per.is_empty() {
+        0.0
+    } else {
+        per.iter().sum::<f64>() / per.len() as f64
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -44,63 +64,112 @@ fn main() {
         sym.flops
     );
 
-    let utilization = |run: &GpuRun| -> (f64, f64) {
-        let per = run.stats.stream_utilization(run.sim_seconds);
-        let mean = if per.is_empty() {
-            0.0
-        } else {
-            per.iter().sum::<f64>() / per.len() as f64
-        };
-        let max = per.iter().fold(0.0f64, |m, &u| m.max(u));
-        (mean, max)
-    };
-
     println!(
-        "{:>8}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}",
-        "streams", "RL_G(pipe)", "RLB_G(pipe)", "RL x", "util mean", "util max"
+        "{:>8}  {:>12}  {:>12}  {:>7}  {:>12}  {:>12}  {:>9}  {:>9}  {:>5}",
+        "streams",
+        "RL inorder",
+        "RL ooo",
+        "ooo x",
+        "RLB inorder",
+        "RLB ooo",
+        "cmp util",
+        "cpy util",
+        "win"
     );
     let mut rows = Vec::new();
     let mut rl_base = f64::NAN;
     for streams in SWEEP {
-        let opts = GpuOptions::with_threshold(0).with_streams(streams);
-        let rl = factor_rl_gpu_pipe(&sym, &a, &opts).expect("SPD");
-        let rlb = factor_rlb_gpu_pipe(&sym, &a, &opts).expect("SPD");
-        assert_eq!(rl.streams_used, streams, "no OOM expected in the sweep");
-        if streams == 1 {
-            rl_base = rl.sim_seconds;
-        }
-        let (rl_mean, rl_max) = utilization(&rl);
-        let (rlb_mean, rlb_max) = utilization(&rlb);
-        println!(
-            "{streams:>8}  {:>12.6}  {:>12.6}  {:>8.2}  {rl_mean:>10.3}  {rl_max:>10.3}",
-            rl.sim_seconds,
-            rlb.sim_seconds,
-            rl_base / rl.sim_seconds,
-        );
-        let fmt_util = |per: &[f64]| -> String {
-            per.iter()
-                .map(|u| format!("{u:.4}"))
-                .collect::<Vec<_>>()
-                .join(", ")
+        let run = |method: Method, retire: RetireMode| -> GpuRun {
+            let opts = GpuOptions::with_threshold(0)
+                .with_streams(streams)
+                .with_retire(retire);
+            let run = match method {
+                Method::RlGpuPipe => factor_rl_gpu_pipe(&sym, &a, &opts),
+                _ => factor_rlb_gpu_pipe(&sym, &a, &opts),
+            }
+            .expect("SPD");
+            assert_eq!(run.streams_used, streams, "no OOM expected in the sweep");
+            assert_eq!(run.retire, retire);
+            run
         };
+        let rl_in = run(Method::RlGpuPipe, RetireMode::InOrder);
+        let rl_ooo = run(Method::RlGpuPipe, RetireMode::Ooo);
+        let rlb_in = run(Method::RlbGpuPipe, RetireMode::InOrder);
+        let rlb_ooo = run(Method::RlbGpuPipe, RetireMode::Ooo);
+        assert_eq!(
+            rl_in.factor, rl_ooo.factor,
+            "retirement modes must agree bitwise (RL, {streams} streams)"
+        );
+        assert_eq!(
+            rlb_in.factor, rlb_ooo.factor,
+            "retirement modes must agree bitwise (RLB, {streams} streams)"
+        );
+        if streams == 1 {
+            rl_base = rl_in.sim_seconds;
+        }
+        let cmp = role_mean(&rl_ooo, StreamRole::Compute);
+        let cpy = role_mean(&rl_ooo, StreamRole::Copy);
+        println!(
+            "{streams:>8}  {:>12.6}  {:>12.6}  {:>7.2}  {:>12.6}  {:>12.6}  {cmp:>9.3}  {cpy:>9.3}  {:>5}",
+            rl_in.sim_seconds,
+            rl_ooo.sim_seconds,
+            rl_base / rl_ooo.sim_seconds,
+            rlb_in.sim_seconds,
+            rlb_ooo.sim_seconds,
+            rl_ooo.lookahead,
+        );
         rows.push(format!(
             concat!(
-                "    {{\"streams\": {}, \"rl_pipe_s\": {:.9}, \"rlb_pipe_s\": {:.9}, ",
-                "\"rl_speedup\": {:.4}, ",
-                "\"rl_util_mean\": {:.4}, \"rl_util_max\": {:.4}, ",
-                "\"rlb_util_mean\": {:.4}, \"rlb_util_max\": {:.4}, ",
-                "\"rl_stream_util\": [{}], \"rlb_stream_util\": [{}]}}"
+                "    {{\"streams\": {}, ",
+                "\"rl_inorder_s\": {:.9}, \"rl_ooo_s\": {:.9}, ",
+                "\"rlb_inorder_s\": {:.9}, \"rlb_ooo_s\": {:.9}, ",
+                "\"rl_inorder_speedup\": {:.4}, \"rl_ooo_speedup\": {:.4}, ",
+                "\"rl_ooo_lookahead\": {}, ",
+                "\"rl_ooo_compute_util\": {:.4}, \"rl_ooo_copy_util\": {:.4}, ",
+                "\"rl_inorder_compute_util\": {:.4}, \"rl_inorder_copy_util\": {:.4}, ",
+                "\"rlb_ooo_compute_util\": {:.4}, \"rlb_ooo_copy_util\": {:.4}}}"
             ),
             streams,
-            rl.sim_seconds,
-            rlb.sim_seconds,
-            rl_base / rl.sim_seconds,
-            rl_mean,
-            rl_max,
-            rlb_mean,
-            rlb_max,
-            fmt_util(&rl.stats.stream_utilization(rl.sim_seconds)),
-            fmt_util(&rlb.stats.stream_utilization(rlb.sim_seconds)),
+            rl_in.sim_seconds,
+            rl_ooo.sim_seconds,
+            rlb_in.sim_seconds,
+            rlb_ooo.sim_seconds,
+            rl_base / rl_in.sim_seconds,
+            rl_base / rl_ooo.sim_seconds,
+            rl_ooo.lookahead,
+            role_mean(&rl_ooo, StreamRole::Compute),
+            role_mean(&rl_ooo, StreamRole::Copy),
+            role_mean(&rl_in, StreamRole::Compute),
+            role_mean(&rl_in, StreamRole::Copy),
+            role_mean(&rlb_ooo, StreamRole::Compute),
+            role_mean(&rlb_ooo, StreamRole::Copy),
+        ));
+    }
+
+    // Pinned-lookahead sweep at the widest stream count: how the fixed
+    // windows bracket the adaptive controller (lookahead 0).
+    let wide = *SWEEP.last().unwrap();
+    println!("\nRL out-of-order lookahead sweep at {wide} streams:");
+    println!("{:>10}  {:>12}  {:>10}", "lookahead", "RL ooo", "final win");
+    let mut la_rows = Vec::new();
+    for la in LOOKAHEADS {
+        let opts = GpuOptions::with_threshold(0)
+            .with_streams(wide)
+            .with_retire(RetireMode::Ooo)
+            .with_lookahead(la);
+        let run = factor_rl_gpu_pipe(&sym, &a, &opts).expect("SPD");
+        let label = if la == 0 {
+            "adaptive".to_string()
+        } else {
+            la.to_string()
+        };
+        println!(
+            "{label:>10}  {:>12.6}  {:>10}",
+            run.sim_seconds, run.lookahead
+        );
+        la_rows.push(format!(
+            "    {{\"lookahead\": {}, \"rl_ooo_s\": {:.9}, \"final_window\": {}}}",
+            la, run.sim_seconds, run.lookahead
         ));
     }
 
@@ -114,7 +183,9 @@ fn main() {
             "  \"flops\": {:.6e},\n",
             "  \"label\": \"{}\",\n",
             "  \"threshold\": 0,\n",
-            "  \"sweep\": [\n{}\n  ]\n",
+            "  \"sweep\": [\n{}\n  ],\n",
+            "  \"lookahead_sweep_streams\": {},\n",
+            "  \"lookahead_sweep\": [\n{}\n  ]\n",
             "}}\n"
         ),
         name,
@@ -124,6 +195,8 @@ fn main() {
         sym.flops,
         Method::RlGpuPipe.label(),
         rows.join(",\n"),
+        wide,
+        la_rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("writing stream-sweep JSON");
     eprintln!("wrote {out_path}");

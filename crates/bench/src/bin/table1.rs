@@ -100,7 +100,7 @@ fn main() {
         "matrices failing with device OOM: {:?} (paper: nlpkkt120 — largest update matrix too big for the GPU)",
         oom_names
     );
-    println!("\nper-stream device timelines (stream 0 = compute, 1 = copy):");
+    println!("\nper-stream device timelines (roles tagged per stream):");
     for b in &breakdowns {
         println!("{b}");
     }

@@ -97,6 +97,8 @@ pub fn gpu_options(cfg: &SuiteConfig, threshold: usize) -> GpuOptions {
         overlap: true,
         streams: 0,
         assign: None,
+        retire: None,
+        lookahead: None,
         faults: None,
     }
 }
@@ -120,15 +122,22 @@ pub fn run_gpu(
 /// Renders a run's per-stream kernel/transfer breakdown, one indented
 /// line per stream with its utilization over the simulated elapsed time.
 pub fn stream_breakdown(run: &GpuRun) -> String {
+    use rlchol_gpu::StreamRole;
     let utils = run.stats.stream_utilization(run.sim_seconds);
-    run.stats
+    let mut lines: Vec<String> = run
+        .stats
         .per_stream
         .iter()
         .zip(&utils)
         .enumerate()
         .map(|(i, (st, util))| {
+            let role = match st.role {
+                StreamRole::Compute => "compute",
+                StreamRole::Copy => "copy",
+                StreamRole::Unassigned => "-",
+            };
             format!(
-                "  stream {i}: {} kernels ({:.4} s), {} transfers ({:.4} s), util {:.1}%",
+                "  stream {i} ({role}): {} kernels ({:.4} s), {} transfers ({:.4} s), util {:.1}%",
                 st.kernel_launches,
                 st.kernel_seconds,
                 st.transfer_count,
@@ -136,8 +145,21 @@ pub fn stream_breakdown(run: &GpuRun) -> String {
                 util * 100.0
             )
         })
-        .collect::<Vec<_>>()
-        .join("\n")
+        .collect();
+    // Averaging all streams together mixes the near-idle copy streams
+    // into the compute numbers; report the two populations apart.
+    let mean = |role: StreamRole| -> Option<f64> {
+        let per = run.stats.role_utilization(run.sim_seconds, role);
+        (!per.is_empty()).then(|| per.iter().sum::<f64>() / per.len() as f64)
+    };
+    if let (Some(cmp), Some(cpy)) = (mean(StreamRole::Compute), mean(StreamRole::Copy)) {
+        lines.push(format!(
+            "  mean util: compute {:.1}%, copy {:.1}%",
+            cmp * 100.0,
+            cpy * 100.0
+        ));
+    }
+    lines.join("\n")
 }
 
 /// Counts supernodes at or above the offload threshold.

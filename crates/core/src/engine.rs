@@ -203,6 +203,46 @@ impl StreamAssign {
     }
 }
 
+/// How the pipelined engines retire host-side effects (staged-update
+/// assembly, CPU-path supernodes, frontier releases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireMode {
+    /// Retire in ascending supernode order (the default). The host
+    /// waits on supernode `s`'s D2H before touching `s + 1`, even when
+    /// a later supernode's staging landed long ago.
+    InOrder,
+    /// Retire out of order: land each supernode as soon as its D2H
+    /// completes, applying updates into every target in the fixed
+    /// ascending-source order via per-target sequence counters. Same
+    /// kernels on the same operands in the same per-target order as the
+    /// serial engines, so the factor stays bit-identical; only the
+    /// host-wait interleaving (and thus the simulated clock) changes.
+    Ooo,
+}
+
+impl RetireMode {
+    /// Parses the `RLCHOL_RETIRE` environment variable: `inorder` or
+    /// `ooo`; anything else (or unset) is `None`.
+    pub fn from_env() -> Option<RetireMode> {
+        match std::env::var("RLCHOL_RETIRE") {
+            Ok(v) => match v.trim() {
+                "inorder" => Some(RetireMode::InOrder),
+                "ooo" => Some(RetireMode::Ooo),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Stable lowercase name (the `RLCHOL_RETIRE` spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RetireMode::InOrder => "inorder",
+            RetireMode::Ooo => "ooo",
+        }
+    }
+}
+
 /// Options for the GPU-accelerated engines.
 #[derive(Debug, Clone)]
 pub struct GpuOptions {
@@ -231,6 +271,17 @@ pub struct GpuOptions {
     /// `RLCHOL_FAULTS` (see [`resolved_faults`](Self::resolved_faults)),
     /// usually absent — no faults.
     pub faults: Option<rlchol_gpu::FaultPlan>,
+    /// Retirement mode for the pipelined engines; `None` resolves to
+    /// `RLCHOL_RETIRE`, defaulting to [`RetireMode::InOrder`]. Either
+    /// mode yields the same factor bits; out-of-order retirement only
+    /// reorders host waits across *different* targets.
+    pub retire: Option<RetireMode>,
+    /// Lookahead window for out-of-order retirement: how many supernodes
+    /// may be in flight on the device at once. `None` resolves to
+    /// `RLCHOL_LOOKAHEAD`, defaulting to `0` = adaptive (grow on stream
+    /// starvation, shrink when the host is the bottleneck). In-order
+    /// retirement keeps its fixed `2 × pairs` bound and ignores this.
+    pub lookahead: Option<usize>,
 }
 
 impl GpuOptions {
@@ -243,6 +294,8 @@ impl GpuOptions {
             streams: 0,
             assign: None,
             faults: None,
+            retire: None,
+            lookahead: None,
         }
     }
 
@@ -255,6 +308,19 @@ impl GpuOptions {
     /// The same options with an explicit stream-pair assignment policy.
     pub fn with_assign(mut self, assign: StreamAssign) -> Self {
         self.assign = Some(assign);
+        self
+    }
+
+    /// The same options with an explicit retirement mode.
+    pub fn with_retire(mut self, retire: RetireMode) -> Self {
+        self.retire = Some(retire);
+        self
+    }
+
+    /// The same options with an explicit lookahead window (`0` =
+    /// adaptive).
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = Some(lookahead);
         self
     }
 
@@ -280,6 +346,26 @@ impl GpuOptions {
         self.assign
             .or_else(StreamAssign::from_env)
             .unwrap_or(StreamAssign::RoundRobin)
+    }
+
+    /// The retirement mode with the fallback chain applied:
+    /// [`retire`](Self::retire), else `RLCHOL_RETIRE`, else in-order.
+    /// Resolved per lane like
+    /// [`resolved_streams`](Self::resolved_streams).
+    pub fn resolved_retire(&self) -> RetireMode {
+        self.retire
+            .or_else(RetireMode::from_env)
+            .unwrap_or(RetireMode::InOrder)
+    }
+
+    /// The lookahead window with the fallback chain applied:
+    /// [`lookahead`](Self::lookahead), else `RLCHOL_LOOKAHEAD`, else
+    /// `0` (adaptive). Resolved per lane like
+    /// [`resolved_streams`](Self::resolved_streams).
+    pub fn resolved_lookahead(&self) -> usize {
+        self.lookahead
+            .or_else(|| env_positive("RLCHOL_LOOKAHEAD"))
+            .unwrap_or(0)
     }
 
     /// The fault plan with the fallback chain applied: an explicit
@@ -331,6 +417,17 @@ pub struct GpuRun {
     /// engines; the pipelined engines may have shed pairs to fit device
     /// memory).
     pub streams_used: usize,
+    /// Retirement mode this run used ([`RetireMode::InOrder`] for the
+    /// single-stream engines).
+    pub retire: RetireMode,
+    /// Final lookahead window of an out-of-order run (the adaptive
+    /// policy's last value, or the pinned `RLCHOL_LOOKAHEAD`); `0` for
+    /// in-order runs.
+    pub lookahead: usize,
+    /// H2D transfers skipped because device-resident data from a
+    /// previous factorization on the same workspace was still valid
+    /// (staged-handle refactorization with GPU residency).
+    pub transfers_saved: u64,
     /// Real wall-clock duration of this process's execution.
     pub wall: Duration,
 }
@@ -405,6 +502,23 @@ mod tests {
             assert_eq!(m.label().parse::<Method>().unwrap(), m);
         }
         assert!("bogus".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn retire_mode_names_and_option_precedence() {
+        assert_eq!(RetireMode::InOrder.name(), "inorder");
+        assert_eq!(RetireMode::Ooo.name(), "ooo");
+        // An explicit option always wins over the environment/default
+        // chain; unset falls back to in-order with an adaptive window.
+        // (from_env itself is exercised end-to-end by the CI matrix —
+        // mutating RLCHOL_RETIRE here would race parallel tests.)
+        let opts = GpuOptions::with_threshold(0);
+        assert_eq!(opts.resolved_lookahead(), 0);
+        assert_eq!(
+            opts.clone().with_retire(RetireMode::Ooo).resolved_retire(),
+            RetireMode::Ooo
+        );
+        assert_eq!(opts.with_lookahead(7).resolved_lookahead(), 7);
     }
 
     #[test]

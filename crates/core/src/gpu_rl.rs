@@ -64,6 +64,8 @@ pub fn factor_rl_gpu_ws(
     gpu.set_blocking(!opts.overlap);
     let compute = gpu.default_stream();
     let copy = gpu.create_stream();
+    gpu.set_stream_role(compute, rlchol_gpu::StreamRole::Compute);
+    gpu.set_stream_role(copy, rlchol_gpu::StreamRole::Copy);
     let cpu = opts.machine.cpu;
 
     let on_gpu = offload_set(sym, opts.threshold);
@@ -157,6 +159,9 @@ pub fn factor_rl_gpu_ws(
         stats: gpu.stats(),
         sn_on_gpu,
         streams_used: 1,
+        retire: crate::engine::RetireMode::InOrder,
+        lookahead: 0,
+        transfers_saved: 0,
         wall: t0.elapsed(),
     })
 }

@@ -260,6 +260,8 @@ pub fn factor_rlb_gpu_ws(
     gpu.set_blocking(!opts.overlap);
     let compute = gpu.default_stream();
     let copy = gpu.create_stream();
+    gpu.set_stream_role(compute, rlchol_gpu::StreamRole::Compute);
+    gpu.set_stream_role(copy, rlchol_gpu::StreamRole::Copy);
     let cpu = opts.machine.cpu;
 
     let on_gpu = offload_set(sym, opts.threshold);
@@ -426,6 +428,9 @@ pub fn factor_rlb_gpu_ws(
         stats: gpu.stats(),
         sn_on_gpu,
         streams_used: 1,
+        retire: crate::engine::RetireMode::InOrder,
+        lookahead: 0,
+        transfers_saved: 0,
         wall: t0.elapsed(),
     })
 }
@@ -570,6 +575,71 @@ pub(crate) fn cpu_direct_update(
         }
     }
     pool::global().run(tasks);
+}
+
+/// One target's slice of [`cpu_direct_update`]: the SYRK/GEMM kernels of
+/// supernode `s`'s run into ancestor `p` alone, reading the (final,
+/// factored) source panel. The out-of-order retirement loop applies CPU
+/// supernodes' updates per target so each destination still receives its
+/// sources in ascending order; running the runs one at a time with the
+/// identical kernels keeps the result bit-equal to the full sweep.
+pub(crate) fn cpu_direct_update_target(
+    sym: &SymbolicFactor,
+    sn_data: &mut [Vec<f64>],
+    s: usize,
+    p: usize,
+    c: usize,
+    len: usize,
+    cpu: &rlchol_perfmodel::CpuModel,
+    host_seconds: &mut f64,
+) {
+    debug_assert!(s < p, "RLB targets are strict ancestors");
+    let (head, tail) = sn_data.split_at_mut(p);
+    let src: &[f64] = &head[s];
+    let parr = &mut tail[0];
+    for run in rlb_target_runs(sym, s) {
+        if run.target != p {
+            continue;
+        }
+        rlb_run_updates(sym, s, c, &run, |u| {
+            *host_seconds += cpu.op_time(&if u.diagonal {
+                TraceOp::Syrk { n: u.n, k: c }
+            } else {
+                TraceOp::Gemm {
+                    m: u.m,
+                    n: u.n,
+                    k: c,
+                }
+            });
+            if u.diagonal {
+                syrk_ln(
+                    u.n,
+                    c,
+                    -1.0,
+                    &src[u.a_off..],
+                    len,
+                    1.0,
+                    &mut parr[u.dst_off..],
+                    run.p_len,
+                );
+            } else {
+                gemm_nt(
+                    u.m,
+                    u.n,
+                    c,
+                    -1.0,
+                    &src[u.a_off..],
+                    len,
+                    &src[u.b_off..],
+                    len,
+                    1.0,
+                    &mut parr[u.dst_off..],
+                    run.p_len,
+                );
+            }
+        });
+        break;
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@ use rlchol_perfmodel::{Trace, TraceOp};
 use rlchol_sparse::SymCsc;
 use rlchol_symbolic::SymbolicFactor;
 
-use crate::engine::{CpuRun, GpuOptions, GpuRun, Method};
+use crate::engine::{CpuRun, GpuOptions, GpuRun, Method, RetireMode};
 use crate::error::FactorError;
 use crate::storage::FactorData;
 
@@ -47,6 +47,17 @@ pub struct FactorInfo {
     /// Device counters, including the per-stream kernel/transfer
     /// breakdown (GPU engines only).
     pub gpu: Option<GpuStats>,
+    /// Retirement discipline the pipelined executor ran under
+    /// (pipelined GPU engines only).
+    pub retire: Option<RetireMode>,
+    /// Final out-of-order lookahead window (0 when in-order or not a
+    /// pipelined GPU engine; under adaptive lookahead this is the
+    /// window's closing value).
+    pub lookahead: usize,
+    /// Host-to-device pattern-metadata transfers skipped because the
+    /// staged handle kept the previous factorization's uploads resident
+    /// (0 on cold runs and for non-pipelined engines).
+    pub transfers_saved: u64,
     /// Operation trace, replayable under the performance model (CPU
     /// engines only).
     pub trace: Option<Trace>,
@@ -85,6 +96,9 @@ impl EngineRun {
                 sn_on_gpu: run.sn_on_gpu,
                 streams_used: run.streams_used,
                 gpu: Some(run.stats),
+                retire: Some(run.retire),
+                lookahead: run.lookahead,
+                transfers_saved: run.transfers_saved,
                 ..FactorInfo::default()
             },
         }
@@ -120,6 +134,16 @@ pub struct EngineWorkspace {
     /// supernode. Unarmed (a no-op) by default; the staged handle arms
     /// it per factorization.
     pub ctl: crate::resilience::RunCtl,
+    /// Simulated device session (streams, per-lane buffers, uploaded
+    /// pattern metadata) kept alive between same-pattern refactorizations
+    /// by the pipelined engines. Only populated when
+    /// [`residency_enabled`](Self::residency_enabled) is set.
+    pub(crate) residency: Option<crate::sched::gpu::GpuResidency>,
+    /// Whether the pipelined engines may keep their device session
+    /// resident across calls. Off by default (one-shot `factor_*` calls
+    /// get a fresh device each time, preserving allocation-ordinal
+    /// determinism); the staged handle turns it on for its lanes.
+    pub residency_enabled: bool,
 }
 
 impl EngineWorkspace {

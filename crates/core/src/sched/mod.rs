@@ -18,12 +18,23 @@
 //!   locks, composable node-level BLAS striping, and clean error/panic
 //!   propagation out of the team.
 //! * [`gpu`] — the **pipelined multi-stream GPU executor**: independent
-//!   ready supernodes are dispatched round-robin onto `RLCHOL_STREAMS`
-//!   simulated compute/copy stream pairs (per-pair device buffers,
-//!   `Event`-gated buffer reuse), while supernodes retire — host
-//!   assembly, CPU-path work, frontier release — in ascending order so
-//!   the factor stays bit-identical to the single-stream engines at any
-//!   stream count.
+//!   ready supernodes are dispatched onto `RLCHOL_STREAMS` simulated
+//!   compute/copy stream pairs (per-pair device buffers, `Event`-gated
+//!   buffer reuse, round-robin or least-loaded assignment), while
+//!   supernodes retire — host assembly, CPU-path work, frontier
+//!   release — under one of two disciplines selected by
+//!   `RLCHOL_RETIRE`: **in-order** (ascending supernode order, the
+//!   conservative default) or **out-of-order** (a supernode's host
+//!   effects apply as soon as its device→host copy lands, with
+//!   per-target sequence counters forcing each destination's updates
+//!   into ascending-source order and an adaptive lookahead window
+//!   pacing issue against retirement — the asynchronous fan-both
+//!   discipline). Both keep the factor bit-identical to the
+//!   single-stream engines at any stream count; out-of-order stops the
+//!   host timeline from serializing on the oldest in-flight supernode.
+//!   On staged handles the executor also keeps its device session
+//!   resident across same-pattern refactorizations (buffers and
+//!   uploaded pattern metadata survive between calls).
 
 pub mod cpu;
 pub mod driver;

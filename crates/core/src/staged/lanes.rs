@@ -29,12 +29,19 @@
 //!   on error and panic paths (the guard's `Drop` does it), so an
 //!   indefinite value set in one lane never wedges the others.
 //! * **Per-lane GPU stream options.** Each lane's workspace owns its own
-//!   [`GpuOptions`] with the stream-pair count and assignment policy
-//!   pre-resolved ([`GpuOptions::resolved_streams`] /
-//!   [`resolved_assign`](GpuOptions::resolved_assign)), so concurrent
-//!   pipelined-engine factorizations each drive their own full set of
-//!   simulated compute/copy pairs and never re-read `RLCHOL_STREAMS` /
-//!   `RLCHOL_STREAM_ASSIGN` mid-flight.
+//!   [`GpuOptions`] with the stream-pair count, assignment policy,
+//!   retirement mode and lookahead pre-resolved
+//!   ([`GpuOptions::resolved_streams`] /
+//!   [`resolved_assign`](GpuOptions::resolved_assign) /
+//!   [`resolved_retire`](GpuOptions::resolved_retire) /
+//!   [`resolved_lookahead`](GpuOptions::resolved_lookahead)), so
+//!   concurrent pipelined-engine factorizations each drive their own
+//!   full set of simulated compute/copy pairs and never re-read
+//!   `RLCHOL_STREAMS` / `RLCHOL_STREAM_ASSIGN` / `RLCHOL_RETIRE` /
+//!   `RLCHOL_LOOKAHEAD` mid-flight. Staged lanes also enable **device
+//!   residency**: the pipelined engines keep their simulated device
+//!   session (streams, per-lane buffers, uploaded pattern metadata)
+//!   alive inside the lane between same-pattern refactorizations.
 //! * **Shared recycle bins.** Factor storage and trace buffers returned
 //!   through [`SymbolicCholesky::recycle`](crate::SymbolicCholesky::recycle)
 //!   land in pool-wide bins (bounded by the lane cap) and are restocked
@@ -192,8 +199,14 @@ impl WorkspaceLanes {
         // reads per call, and `RLCHOL_FAULTS` cannot change mid-handle).
         let streams = gpu.resolved_streams();
         let assign = gpu.resolved_assign();
+        let retire = gpu.resolved_retire();
+        let lookahead = gpu.resolved_lookahead();
         let faults = gpu.resolved_faults();
-        let mut gpu = gpu.with_streams(streams).with_assign(assign);
+        let mut gpu = gpu
+            .with_streams(streams)
+            .with_assign(assign)
+            .with_retire(retire)
+            .with_lookahead(lookahead);
         gpu.faults = faults;
         WorkspaceLanes {
             cap,
@@ -287,8 +300,13 @@ impl WorkspaceLanes {
             // Build the lane outside the lock: cloning the template of a
             // large pattern must not stall concurrent checkouts/returns.
             drop(st);
+            // Staged lanes live across factorizations, so the pipelined
+            // engines may keep their simulated device session resident
+            // between same-pattern refactor calls.
+            let mut ws = EngineWorkspace::new(self.threads, self.gpu.clone());
+            ws.residency_enabled = true;
             let fresh = Lane {
-                ws: EngineWorkspace::new(self.threads, self.gpu.clone()),
+                ws,
                 a_fact: self.template.clone(),
             };
             st = self.state.lock().unwrap();

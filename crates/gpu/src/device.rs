@@ -49,6 +49,15 @@ pub struct StreamId(usize);
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event(f64);
 
+impl Event {
+    /// The simulated completion time this event captured. Schedulers use
+    /// it to pick which in-flight work item completes earliest — the
+    /// simulated analogue of polling `cudaEventQuery`.
+    pub fn time(&self) -> f64 {
+        self.0
+    }
+}
+
 struct State {
     buffers: Vec<Option<Vec<f64>>>,
     streams: Vec<f64>,
@@ -182,6 +191,43 @@ impl Gpu {
     /// the "no overlap" ablation mode.
     pub fn set_blocking(&self, blocking: bool) {
         self.state.lock().blocking = blocking;
+    }
+
+    /// Declares what `stream` is used for; reported per stream in
+    /// [`GpuStats`] so utilization can be split by role.
+    pub fn set_stream_role(&self, stream: StreamId, role: crate::stats::StreamRole) {
+        self.state.lock().stats.per_stream[stream.0].role = role;
+    }
+
+    /// Rewinds the device to the start of a new factorization session
+    /// while keeping its memory contents: clocks return to zero and the
+    /// activity counters reset, but buffers (and their data), allocation
+    /// bookkeeping (`used_bytes`, with `peak_bytes` restarting from it)
+    /// and stream roles survive. This is what makes warm refactorization
+    /// on a resident device meaningful — the next run's stats describe
+    /// only its own work.
+    pub fn reset_session(&self) {
+        let mut st = self.state.lock();
+        st.host_clock = 0.0;
+        for c in st.streams.iter_mut() {
+            *c = 0.0;
+        }
+        let used = st.stats.used_bytes;
+        let alloc_count = st.stats.alloc_count;
+        let roles: Vec<_> = st.stats.per_stream.iter().map(|s| s.role).collect();
+        st.stats = GpuStats {
+            used_bytes: used,
+            peak_bytes: used,
+            alloc_count,
+            per_stream: roles
+                .into_iter()
+                .map(|role| StreamStats {
+                    role,
+                    ..StreamStats::default()
+                })
+                .collect(),
+            ..GpuStats::default()
+        };
     }
 
     /// Allocates `len` doubles of device memory.

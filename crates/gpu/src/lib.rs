@@ -43,4 +43,4 @@ pub mod stats;
 pub use device::{default_streams, Buffer, Event, Gpu, StreamId};
 pub use error::GpuError;
 pub use faults::{DeviceError, FaultKind, FaultPlan, FaultSpec};
-pub use stats::{GpuStats, StreamStats};
+pub use stats::{GpuStats, StreamRole, StreamStats};

@@ -1,10 +1,27 @@
 //! Aggregate counters of a simulated-device session.
 
+/// What a stream is used for, as declared by the engine that created it.
+/// Reports that average utilization over *all* streams mix near-idle
+/// copy streams into the compute numbers; tagging lets
+/// [`GpuStats::role_utilization`] keep the two populations apart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StreamRole {
+    /// Never tagged (engines that predate roles, ad-hoc streams).
+    #[default]
+    Unassigned,
+    /// Runs factorization kernels (POTRF/TRSM/SYRK/GEMM).
+    Compute,
+    /// Runs asynchronous copy-backs and staging transfers.
+    Copy,
+}
+
 /// Per-stream slice of the device counters: what one in-order stream was
 /// asked to execute. `busy_seconds` over the session's elapsed time is
 /// that stream's utilization — the number the pipelined engines tune.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StreamStats {
+    /// The engine-declared role of this stream.
+    pub role: StreamRole,
     /// Kernels launched on this stream.
     pub kernel_launches: u64,
     /// Simulated seconds of kernel time issued to this stream.
@@ -64,6 +81,24 @@ impl GpuStats {
     pub fn stream_utilization(&self, elapsed: f64) -> Vec<f64> {
         self.per_stream
             .iter()
+            .map(|s| {
+                if elapsed > 0.0 {
+                    s.busy_seconds() / elapsed
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Utilization of only the streams tagged `role`, in stream-id order.
+    /// Averaging this for [`StreamRole::Compute`] gives the number the
+    /// pipelined engines actually tune — the all-streams mean dilutes it
+    /// with the (intentionally) near-idle copy streams.
+    pub fn role_utilization(&self, elapsed: f64, role: StreamRole) -> Vec<f64> {
+        self.per_stream
+            .iter()
+            .filter(|s| s.role == role)
             .map(|s| {
                 if elapsed > 0.0 {
                     s.busy_seconds() / elapsed

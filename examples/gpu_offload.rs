@@ -75,6 +75,8 @@ fn main() {
         streams: 0,
         assign: None,
         faults: None,
+        retire: None,
+        lookahead: None,
     };
     println!("\nGPU-accelerated engines (threshold = {threshold}, overlap on):");
     let runs = [

@@ -48,6 +48,8 @@ fn main() {
             streams: 0,
             assign: None,
             faults: None,
+            retire: None,
+            lookahead: None,
         };
         let rl = match factor_rl_gpu(&sym, &a_fact, &opts) {
             Ok(r) => format!("{:.1} KiB peak", r.stats.peak_bytes as f64 / 1024.0),

@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use rlchol::core::engine::{GpuOptions, Method};
+use rlchol::core::engine::{GpuOptions, Method, RetireMode};
 use rlchol::perfmodel::MachineModel;
 use rlchol::report::spy_lower;
 use rlchol::sparse::read_matrix_market;
@@ -40,6 +40,7 @@ fn usage() -> ! {
          [--method {}] \
          [--ordering nd|md|rcm|natural] [--solve-threads N] \
          [--factor-lanes N] [--size N] [--gpu-threshold N] \
+         [--retire inorder|ooo] [--lookahead N] \
          [--faults SPEC[,SPEC...]] [--fallback auto|m1>m2>...] \
          [--deadline-ms N]",
         method_names()
@@ -56,6 +57,8 @@ struct Args {
     solve_threads: usize,
     factor_lanes: usize,
     gpu_threshold: Option<usize>,
+    retire: Option<RetireMode>,
+    lookahead: Option<usize>,
     faults: Option<FaultPlan>,
     fallback: Option<FallbackChain>,
     deadline_ms: Option<u64>,
@@ -71,6 +74,8 @@ fn parse_args() -> Args {
     let mut solve_threads = 0usize;
     let mut factor_lanes = 0usize;
     let mut gpu_threshold = None;
+    let mut retire = None;
+    let mut lookahead = None;
     let mut faults = None;
     let mut fallback = None;
     let mut deadline_ms = None;
@@ -98,6 +103,17 @@ fn parse_args() -> Args {
             // Supernode-size offload cutoff; 0 sends everything to the
             // (simulated) device — handy with --faults.
             "--gpu-threshold" => gpu_threshold = Some(value.parse().unwrap_or_else(|_| usage())),
+            // How the pipelined engines retire device results: strict
+            // ascending order, or as copies land (out-of-order).
+            "--retire" => {
+                retire = Some(match value.as_str() {
+                    "inorder" => RetireMode::InOrder,
+                    "ooo" => RetireMode::Ooo,
+                    _ => usage(),
+                })
+            }
+            // Out-of-order issue window; 0 adapts it from stream idle time.
+            "--lookahead" => lookahead = Some(value.parse().unwrap_or_else(|_| usage())),
             "--faults" => {
                 faults = Some(FaultPlan::parse(&value).unwrap_or_else(|e| {
                     eprintln!("rlchol: bad --faults: {e}");
@@ -129,6 +145,8 @@ fn parse_args() -> Args {
         solve_threads,
         factor_lanes,
         gpu_threshold,
+        retire,
+        lookahead,
         faults,
         fallback,
         deadline_ms,
@@ -155,6 +173,8 @@ fn solver_options(args: &Args) -> SolverOptions {
             overlap: true,
             streams: 0,
             assign: None,
+            retire: args.retire,
+            lookahead: args.lookahead,
             faults: None,
         },
         solve_threads: args.solve_threads,
@@ -225,6 +245,14 @@ fn main() {
                     info.sn_on_gpu, info.streams_used
                 );
             }
+            if let Some(retire) = info.retire {
+                println!(
+                    "retirement: {} (lookahead {}, {} metadata transfer(s) saved)",
+                    retire.name(),
+                    info.lookahead,
+                    info.transfers_saved
+                );
+            }
             if let Some(stats) = &info.gpu {
                 println!(
                     "device: {} kernels, {:.1} MB transferred, peak memory {:.1} MB",
@@ -264,7 +292,9 @@ fn main() {
                 "solve plan: {} levels, max width {}; path: {}",
                 info.levels,
                 info.max_width,
-                if info.level_set {
+                if info.level_set && info.async_dispatch {
+                    format!("async counters ({} threads)", info.threads)
+                } else if info.level_set {
                     format!("level-set ({} threads)", info.threads)
                 } else {
                     "serial".to_string()

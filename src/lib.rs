@@ -207,21 +207,31 @@
 //! and the striped dense kernels share one persistent work-stealing pool;
 //! the pipelined GPU engines ([`Method::RlGpuPipe`], [`Method::RlbGpuPipe`])
 //! dispatch ready supernodes onto simulated compute/copy stream pairs
-//! (assignment policy via `RLCHOL_STREAM_ASSIGN={rr,ll}`); the level-set
-//! triangular solves dispatch each level of the solve plan onto the same
-//! pool. Sizing follows one precedence rule, resolved when
+//! (assignment policy via `RLCHOL_STREAM_ASSIGN={rr,ll}`; retirement
+//! discipline via `RLCHOL_RETIRE={inorder,ooo}` with the out-of-order
+//! issue window via `RLCHOL_LOOKAHEAD`); the level-set triangular solves
+//! dispatch each level of the solve plan onto the same pool (switching
+//! to barrier-free counter dispatch when the handle resolved the `ooo`
+//! retirement mode). Sizing follows one precedence rule, resolved when
 //! [`CholeskySolver::analyze`] builds the handle:
 //!
 //! 1. An explicit nonzero [`SolverOptions::threads`] /
 //!    [`SolverOptions::solve_threads`] / [`SolverOptions::factor_lanes`] /
-//!    [`GpuOptions::streams`](core::engine::GpuOptions::streams) wins.
-//! 2. A zero defers to the **`RLCHOL_THREADS`** /
-//!    **`RLCHOL_SOLVE_THREADS`** / **`RLCHOL_FACTOR_LANES`** /
-//!    **`RLCHOL_STREAMS`** environment variable (positive integer).
+//!    [`GpuOptions::streams`](core::engine::GpuOptions::streams), or an
+//!    explicit [`GpuOptions::retire`](core::engine::GpuOptions::retire) /
+//!    [`GpuOptions::lookahead`](core::engine::GpuOptions::lookahead),
+//!    wins.
+//! 2. A zero (`None` for retire/lookahead) defers to the
+//!    **`RLCHOL_THREADS`** / **`RLCHOL_SOLVE_THREADS`** /
+//!    **`RLCHOL_FACTOR_LANES`** / **`RLCHOL_STREAMS`** /
+//!    **`RLCHOL_RETIRE`** / **`RLCHOL_LOOKAHEAD`** environment variable
+//!    (positive integer; `inorder`/`ooo` for retire).
 //! 3. Unset environment falls back to
 //!    [`std::thread::available_parallelism`] (threads, solve lanes,
 //!    factor lanes — solves additionally stay serial below a
-//!    small-system cutoff) / the runtime default of 2 (stream pairs).
+//!    small-system cutoff) / the runtime default of 2 (stream pairs) /
+//!    in-order retirement with an adaptive lookahead window
+//!    (lookahead 0).
 //!
 //! One lane / one pair degenerates to the serial / single-stream
 //! schedule, bit-exactly — and the level-set solves and lane-pooled

@@ -27,6 +27,8 @@ fn gpu_opts(threshold: usize) -> GpuOptions {
         streams: 0,
         assign: None,
         faults: None,
+        retire: None,
+        lookahead: None,
     }
 }
 

@@ -27,6 +27,7 @@
 
 use std::time::Duration;
 
+use rlchol::core::engine::RetireMode;
 use rlchol::core::{engine_for, EngineWorkspace};
 use rlchol::matgen::{grid3d, Stencil};
 use rlchol::symbolic::analyze;
@@ -51,17 +52,20 @@ fn gpu_methods() -> Vec<Method> {
 }
 
 /// Everything-on-GPU options so the ordinal space covers the whole
-/// schedule, with `faults` installed.
-fn gpu_opts(faults: Option<FaultPlan>) -> GpuOptions {
+/// schedule, with `faults` installed and the retirement discipline
+/// pinned when the sweep asks for one (`None` resolves from
+/// `RLCHOL_RETIRE`, which the CI fault leg sets per matrix job).
+fn gpu_opts(faults: Option<FaultPlan>, retire: Option<RetireMode>) -> GpuOptions {
     let mut gpu = GpuOptions::with_threshold(0);
     gpu.faults = faults;
+    gpu.retire = retire;
     gpu
 }
 
 fn solver_opts(method: Method, faults: Option<FaultPlan>) -> SolverOptions {
     SolverOptions {
         method,
-        gpu: gpu_opts(faults),
+        gpu: gpu_opts(faults, None),
         // Pin the task-parallel CPU engines to one pool lane so a
         // fallback factorization is deterministic (same policy as
         // tests/shared_handle.rs) and bitwise comparable to a clean
@@ -104,83 +108,98 @@ fn injected_faults_surface_as_typed_errors_for_every_gpu_engine() {
 
     for method in gpu_methods() {
         let engine = engine_for(method);
-        // Clean run: the reference factor and the ordinal space.
-        let mut ws = EngineWorkspace::new(1, gpu_opts(None));
-        let clean = engine.factor(&sym, &ap, &mut ws).unwrap();
-        let stats = clean.info.gpu.as_ref().unwrap();
-        let (kernels, transfers, allocs) = (
-            stats.kernel_launches,
-            stats.h2d_count + stats.d2h_count,
-            stats.alloc_count,
-        );
-        assert!(
-            kernels > 0 && transfers > 0 && allocs > 0,
-            "{method:?}: clean run must exercise the device"
-        );
-        let clean_sim = clean.info.sim_seconds.unwrap();
+        // The pipelined engines sweep both retirement disciplines — the
+        // out-of-order path reorders host effects and must uphold the
+        // same contract at every ordinal. The other engines have no
+        // retirement phase.
+        let retires: &[Option<RetireMode>] =
+            if matches!(method, Method::RlGpuPipe | Method::RlbGpuPipe) {
+                &[Some(RetireMode::InOrder), Some(RetireMode::Ooo)]
+            } else {
+                &[None]
+            };
+        for &retire in retires {
+            // Clean run: the reference factor and the ordinal space.
+            let mut ws = EngineWorkspace::new(1, gpu_opts(None, retire));
+            let clean = engine.factor(&sym, &ap, &mut ws).unwrap();
+            let stats = clean.info.gpu.as_ref().unwrap();
+            let (kernels, transfers, allocs) = (
+                stats.kernel_launches,
+                stats.h2d_count + stats.d2h_count,
+                stats.alloc_count,
+            );
+            assert!(
+                kernels > 0 && transfers > 0 && allocs > 0,
+                "{method:?} {retire:?}: clean run must exercise the device"
+            );
+            let clean_sim = clean.info.sim_seconds.unwrap();
 
-        // Failing faults: every strike is a typed device error, and the
-        // factorization never panics.
-        let classes: [(FaultKind, u64, fn(FaultPlan, u64) -> FaultPlan); 3] = [
-            (FaultKind::KernelFault, kernels, |p, i| p.kernel_at(i)),
-            (FaultKind::TransferFail, transfers, |p, i| p.transfer_at(i)),
-            (FaultKind::DeviceOom, allocs, |p, i| p.oom_at(i)),
-        ];
-        for (kind, count, inject) in classes {
-            for i in sweep_points(count) {
-                let plan = inject(FaultPlan::new(), i);
-                let mut ws = EngineWorkspace::new(1, gpu_opts(Some(plan)));
-                match engine.factor(&sym, &ap, &mut ws) {
-                    Err(err) => assert!(
-                        err.is_device(),
-                        "{method:?}: {kind:?}@{i} surfaced as a non-device error: {err:?}"
-                    ),
-                    Ok(run) => {
-                        // The pipelined engines absorb device OOM by
-                        // shedding stream pairs (and, once no pair fits,
-                        // routing supernodes down the CPU path) — their
-                        // pre-existing graceful path, not a missed
-                        // strike. The factor must still be right:
-                        // bitwise for the RL family (CPU and GPU paths
-                        // round identically), numerically for RLB (the
-                        // CPU/GPU split changes the update order).
-                        assert!(
-                            kind == FaultKind::DeviceOom
-                                && matches!(method, Method::RlGpuPipe | Method::RlbGpuPipe),
-                            "{method:?}: {kind:?}@{i} must strike"
-                        );
-                        if method == Method::RlGpuPipe {
-                            assert_eq!(
-                                run.factor, clean.factor,
-                                "{method:?}: absorbed oom@{i} changed the factor"
-                            );
-                        } else {
-                            let d = run.factor.max_rel_diff(&clean.factor);
+            // Failing faults: every strike is a typed device error, and
+            // the factorization never panics.
+            let classes: [(FaultKind, u64, fn(FaultPlan, u64) -> FaultPlan); 3] = [
+                (FaultKind::KernelFault, kernels, |p, i| p.kernel_at(i)),
+                (FaultKind::TransferFail, transfers, |p, i| p.transfer_at(i)),
+                (FaultKind::DeviceOom, allocs, |p, i| p.oom_at(i)),
+            ];
+            for (kind, count, inject) in classes {
+                for i in sweep_points(count) {
+                    let plan = inject(FaultPlan::new(), i);
+                    let mut ws = EngineWorkspace::new(1, gpu_opts(Some(plan), retire));
+                    match engine.factor(&sym, &ap, &mut ws) {
+                        Err(err) => assert!(
+                            err.is_device(),
+                            "{method:?} {retire:?}: {kind:?}@{i} surfaced as a \
+                             non-device error: {err:?}"
+                        ),
+                        Ok(run) => {
+                            // The pipelined engines absorb device OOM by
+                            // shedding stream pairs (and, once no pair
+                            // fits, routing supernodes down the CPU
+                            // path) — their pre-existing graceful path,
+                            // not a missed strike. The factor must still
+                            // be right: bitwise for the RL family (CPU
+                            // and GPU paths round identically),
+                            // numerically for RLB (the CPU/GPU split
+                            // changes the update order).
                             assert!(
-                                d < 1e-12,
-                                "{method:?}: absorbed oom@{i} factor off by {d:e}"
+                                kind == FaultKind::DeviceOom
+                                    && matches!(method, Method::RlGpuPipe | Method::RlbGpuPipe),
+                                "{method:?} {retire:?}: {kind:?}@{i} must strike"
                             );
+                            if method == Method::RlGpuPipe {
+                                assert_eq!(
+                                    run.factor, clean.factor,
+                                    "{method:?} {retire:?}: absorbed oom@{i} changed the factor"
+                                );
+                            } else {
+                                let d = run.factor.max_rel_diff(&clean.factor);
+                                assert!(
+                                    d < 1e-12,
+                                    "{method:?} {retire:?}: absorbed oom@{i} factor off by {d:e}"
+                                );
+                            }
                         }
                     }
                 }
             }
-        }
 
-        // Stalls never fail: bit-identical factor, inflated sim clock.
-        for i in sweep_points(kernels + transfers) {
-            let plan = FaultPlan::new().stall_at(i, 0.05);
-            let mut ws = EngineWorkspace::new(1, gpu_opts(Some(plan)));
-            let run = engine
-                .factor(&sym, &ap, &mut ws)
-                .unwrap_or_else(|e| panic!("{method:?}: stall@{i} must not fail: {e}"));
-            assert_eq!(
-                run.factor, clean.factor,
-                "{method:?}: stall@{i} changed the factor"
-            );
-            assert!(
-                run.info.sim_seconds.unwrap() > clean_sim + 0.04,
-                "{method:?}: stall@{i} did not inflate the simulated clock"
-            );
+            // Stalls never fail: bit-identical factor, inflated sim
+            // clock.
+            for i in sweep_points(kernels + transfers) {
+                let plan = FaultPlan::new().stall_at(i, 0.05);
+                let mut ws = EngineWorkspace::new(1, gpu_opts(Some(plan), retire));
+                let run = engine.factor(&sym, &ap, &mut ws).unwrap_or_else(|e| {
+                    panic!("{method:?} {retire:?}: stall@{i} must not fail: {e}")
+                });
+                assert_eq!(
+                    run.factor, clean.factor,
+                    "{method:?} {retire:?}: stall@{i} changed the factor"
+                );
+                assert!(
+                    run.info.sim_seconds.unwrap() > clean_sim + 0.04,
+                    "{method:?} {retire:?}: stall@{i} did not inflate the simulated clock"
+                );
+            }
         }
     }
 }

@@ -28,6 +28,8 @@ fn opts(threshold: usize) -> GpuOptions {
         streams: 0,
         assign: None,
         faults: None,
+        retire: None,
+        lookahead: None,
     }
 }
 

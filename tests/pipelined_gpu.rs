@@ -1,9 +1,10 @@
 //! Integration tests of the pipelined multi-stream GPU engines: factors
 //! must be bit-identical to the single-stream engines at every stream
-//! count, device memory pressure must shed stream pairs before failing,
-//! and numeric failures must propagate cleanly out of the pipeline.
+//! count and under both retirement disciplines, device memory pressure
+//! must shed stream pairs before failing, and numeric failures must
+//! propagate cleanly out of the pipeline.
 
-use rlchol::core::engine::{GpuOptions, StreamAssign};
+use rlchol::core::engine::{GpuOptions, RetireMode, StreamAssign};
 use rlchol::core::gpu_rl::factor_rl_gpu;
 use rlchol::core::gpu_rlb::{factor_rlb_gpu, RlbGpuVersion};
 use rlchol::core::sched::{factor_rl_gpu_pipe, factor_rlb_gpu_pipe};
@@ -14,7 +15,8 @@ use rlchol::perfmodel::MachineModel;
 use rlchol::sparse::{SymCsc, TripletMatrix};
 use rlchol::symbolic::{analyze, SymbolicFactor, SymbolicOptions};
 
-const STREAM_SWEEP: [usize; 3] = [1, 2, 4];
+const STREAM_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const RETIRES: [RetireMode; 2] = [RetireMode::InOrder, RetireMode::Ooo];
 
 /// Order (nested dissection, for a bushy tree) and analyze.
 fn prepared(a: &SymCsc) -> (SymbolicFactor, SymCsc) {
@@ -26,9 +28,11 @@ fn prepared(a: &SymCsc) -> (SymbolicFactor, SymCsc) {
 }
 
 /// Pipelined RL/RLB against their single-stream engines, bitwise, over
-/// the stream sweep, a CPU/GPU-mixing threshold, and both stream-pair
-/// assignment policies (in-order retirement makes the factor
-/// independent of where each supernode's device work ran).
+/// the stream sweep, a CPU/GPU-mixing threshold, both stream-pair
+/// assignment policies, and both retirement disciplines (in-order
+/// retirement makes the factor trivially independent of where each
+/// supernode's device work ran; out-of-order retirement preserves the
+/// same bits through per-target sequencing).
 fn check_bit_identical(a: &SymCsc, label: &str) {
     let (sym, ap) = prepared(a);
     for threshold in [0usize, 300] {
@@ -37,18 +41,27 @@ fn check_bit_identical(a: &SymCsc, label: &str) {
         let rlb = factor_rlb_gpu(&sym, &ap, &opts, RlbGpuVersion::V1).unwrap();
         for streams in STREAM_SWEEP {
             for assign in [StreamAssign::RoundRobin, StreamAssign::LeastLoaded] {
-                let o = opts.clone().with_streams(streams).with_assign(assign);
-                let rl_pipe = factor_rl_gpu_pipe(&sym, &ap, &o).unwrap();
-                assert_eq!(rl_pipe.streams_used, streams, "{label} thr {threshold}");
-                assert_eq!(
-                    rl.factor.sn, rl_pipe.factor.sn,
-                    "{label}: RL thr {threshold} streams {streams} {assign:?} not bit-identical"
-                );
-                let rlb_pipe = factor_rlb_gpu_pipe(&sym, &ap, &o).unwrap();
-                assert_eq!(
-                    rlb.factor.sn, rlb_pipe.factor.sn,
-                    "{label}: RLB thr {threshold} streams {streams} {assign:?} not bit-identical"
-                );
+                for retire in RETIRES {
+                    let o = opts
+                        .clone()
+                        .with_streams(streams)
+                        .with_assign(assign)
+                        .with_retire(retire);
+                    let rl_pipe = factor_rl_gpu_pipe(&sym, &ap, &o).unwrap();
+                    assert_eq!(rl_pipe.streams_used, streams, "{label} thr {threshold}");
+                    assert_eq!(rl_pipe.retire, retire);
+                    assert_eq!(
+                        rl.factor.sn, rl_pipe.factor.sn,
+                        "{label}: RL thr {threshold} streams {streams} {assign:?} \
+                         {retire:?} not bit-identical"
+                    );
+                    let rlb_pipe = factor_rlb_gpu_pipe(&sym, &ap, &o).unwrap();
+                    assert_eq!(
+                        rlb.factor.sn, rlb_pipe.factor.sn,
+                        "{label}: RLB thr {threshold} streams {streams} {assign:?} \
+                         {retire:?} not bit-identical"
+                    );
+                }
             }
         }
     }
@@ -87,6 +100,68 @@ fn multi_stream_pipelining_speeds_up_the_simulated_clock() {
         }
         prev = t;
     }
+}
+
+#[test]
+fn out_of_order_retirement_beats_in_order_at_wide_stream_counts() {
+    // In-order retirement serializes the host timeline on the oldest
+    // in-flight supernode; with 8 stream pairs on a bushy ND tree that
+    // is the dominant stall, and out-of-order retirement must convert
+    // it into simulated speedup — while producing the identical factor.
+    let a = grid3d(10, 10, 10, Stencil::Star7, 1, 63);
+    let (sym, ap) = prepared(&a);
+    let opts = GpuOptions::with_threshold(0).with_streams(8);
+    let inorder =
+        factor_rl_gpu_pipe(&sym, &ap, &opts.clone().with_retire(RetireMode::InOrder)).unwrap();
+    let ooo = factor_rl_gpu_pipe(&sym, &ap, &opts.with_retire(RetireMode::Ooo)).unwrap();
+    assert_eq!(inorder.factor.sn, ooo.factor.sn, "modes must agree bitwise");
+    assert!(
+        ooo.sim_seconds < inorder.sim_seconds,
+        "ooo {} must beat inorder {}",
+        ooo.sim_seconds,
+        inorder.sim_seconds
+    );
+    assert!(ooo.lookahead >= 1, "ooo must report its final window");
+    assert_eq!(inorder.lookahead, 0, "inorder reports no lookahead");
+}
+
+#[test]
+fn staged_refactor_keeps_device_residency_and_skips_metadata_uploads() {
+    use rlchol::{CholeskySolver, Method, SolverOptions};
+    let a = grid3d(6, 6, 5, Stencil::Star7, 1, 66);
+    let opts = SolverOptions {
+        method: Method::RlGpuPipe,
+        gpu: GpuOptions::with_threshold(0)
+            .with_streams(2)
+            .with_retire(RetireMode::Ooo),
+        factor_lanes: 1,
+        ..SolverOptions::default()
+    };
+    let handle = CholeskySolver::analyze(&a, &opts);
+    let cold = handle.factor_with(&a).unwrap();
+    assert_eq!(
+        cold.info().transfers_saved,
+        0,
+        "first factorization uploads its pattern metadata"
+    );
+    let warm = handle.factor_with(&a).unwrap();
+    assert!(
+        warm.info().transfers_saved > 0,
+        "same-pattern refactor must reuse resident metadata"
+    );
+    // Residency is a pure transfer optimization: the factors agree
+    // bitwise and the one-shot (non-resident) engine agrees too.
+    let (sym, ap) = prepared(&a);
+    let one_shot = factor_rl_gpu_pipe(
+        &sym,
+        &ap,
+        &GpuOptions::with_threshold(0)
+            .with_streams(2)
+            .with_retire(RetireMode::Ooo),
+    )
+    .unwrap();
+    assert_eq!(cold.data().sn, warm.data().sn);
+    assert_eq!(cold.data().sn, one_shot.factor.sn);
 }
 
 #[test]
@@ -143,21 +218,25 @@ fn indefinite_matrix_errors_cleanly_under_pipelining() {
     let (sym, ap) = prepared(&a);
     for streams in STREAM_SWEEP {
         for threshold in [0usize, 200] {
-            let opts = GpuOptions::with_threshold(threshold).with_streams(streams);
-            assert!(
-                matches!(
-                    factor_rl_gpu_pipe(&sym, &ap, &opts),
-                    Err(FactorError::NotPositiveDefinite { .. })
-                ),
-                "RL streams {streams} thr {threshold}"
-            );
-            assert!(
-                matches!(
-                    factor_rlb_gpu_pipe(&sym, &ap, &opts),
-                    Err(FactorError::NotPositiveDefinite { .. })
-                ),
-                "RLB streams {streams} thr {threshold}"
-            );
+            for retire in RETIRES {
+                let opts = GpuOptions::with_threshold(threshold)
+                    .with_streams(streams)
+                    .with_retire(retire);
+                assert!(
+                    matches!(
+                        factor_rl_gpu_pipe(&sym, &ap, &opts),
+                        Err(FactorError::NotPositiveDefinite { .. })
+                    ),
+                    "RL streams {streams} thr {threshold} {retire:?}"
+                );
+                assert!(
+                    matches!(
+                        factor_rlb_gpu_pipe(&sym, &ap, &opts),
+                        Err(FactorError::NotPositiveDefinite { .. })
+                    ),
+                    "RLB streams {streams} thr {threshold} {retire:?}"
+                );
+            }
         }
     }
     // The engines stay usable afterwards (fresh device per run, shared
