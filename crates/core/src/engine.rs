@@ -114,9 +114,11 @@ impl std::str::FromStr for Method {
             .copied()
             .ok_or_else(|| {
                 let names: Vec<&str> = Method::ALL.iter().map(|m| m.cli_name()).collect();
+                let labels: Vec<&str> = Method::ALL.iter().map(|m| m.label()).collect();
                 format!(
-                    "unknown method `{s}` (expected one of: {})",
-                    names.join(", ")
+                    "unknown method `{s}` (expected one of: {}; or a paper label: {})",
+                    names.join(", "),
+                    labels.join(", ")
                 )
             })
     }
@@ -501,7 +503,15 @@ mod tests {
             assert_eq!(m.cli_name().parse::<Method>().unwrap(), m);
             assert_eq!(m.label().parse::<Method>().unwrap(), m);
         }
-        assert!("bogus".parse::<Method>().is_err());
+        // A typo's error message enumerates every valid spelling — the
+        // CLI name and the paper label of each registered engine — so a
+        // `--method` typo is not a dead end.
+        let err = "bogus".parse::<Method>().unwrap_err();
+        assert!(err.contains("unknown method `bogus`"), "{err}");
+        for m in Method::ALL {
+            assert!(err.contains(m.cli_name()), "`{err}` lacks {}", m.cli_name());
+            assert!(err.contains(m.label()), "`{err}` lacks {}", m.label());
+        }
     }
 
     #[test]

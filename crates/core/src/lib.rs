@@ -64,6 +64,7 @@ pub mod engine;
 pub mod error;
 pub mod gpu_rl;
 pub mod gpu_rlb;
+pub mod json;
 pub mod ll;
 pub mod multifrontal;
 pub mod registry;

@@ -77,12 +77,18 @@ impl std::str::FromStr for FallbackChain {
     /// label (e.g. `rlb-gpu>rlb-par>rlb`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut methods = Vec::new();
-        for part in s.split('>') {
+        for (index, part) in s.split('>').enumerate() {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            methods.push(part.parse::<Method>()?);
+            methods.push(part.parse::<Method>().map_err(|e| {
+                format!(
+                    "fallback chain element {} (`{part}`): {e}; \
+                     chain syntax is `engine>engine>...`",
+                    index + 1
+                )
+            })?);
         }
         Ok(FallbackChain { methods })
     }
@@ -347,7 +353,14 @@ mod tests {
             chain.methods,
             vec![Method::RlbGpuV2, Method::RlbCpuPar, Method::RlbCpu]
         );
-        assert!("rlb-gpu>bogus".parse::<FallbackChain>().is_err());
+        // The error identifies the failing element (position and text),
+        // lists the valid engine names, and reminds the chain syntax.
+        let err = "rlb-gpu>bogus".parse::<FallbackChain>().unwrap_err();
+        assert!(err.contains("element 2"), "{err}");
+        assert!(err.contains("`bogus`"), "{err}");
+        assert!(err.contains("unknown method"), "{err}");
+        assert!(err.contains("rlb-gpu-pipe"), "{err}");
+        assert!(err.contains("engine>engine"), "{err}");
         assert!("".parse::<FallbackChain>().unwrap().is_empty());
     }
 

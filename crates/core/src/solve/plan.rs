@@ -185,6 +185,20 @@ impl SolvePlan {
         self.max_width
     }
 
+    /// Heap bytes of the cached plan (level pointers, order, cost
+    /// prefix, the gather-segment CSR and its transpose).
+    pub fn memory_bytes(&self) -> u64 {
+        let usz = std::mem::size_of::<usize>() as u64;
+        (self.level_ptr.len()
+            + self.order.len()
+            + self.in_ptr.len()
+            + self.out_ptr.len()
+            + self.out_list.len()) as u64
+            * usz
+            + self.cost_prefix.len() as u64 * std::mem::size_of::<u64>() as u64
+            + self.in_segs.len() as u64 * std::mem::size_of::<GatherSeg>() as u64
+    }
+
     /// The supernodes of level `l`, ascending.
     pub fn level(&self, l: usize) -> &[usize] {
         &self.order[self.level_ptr[l]..self.level_ptr[l + 1]]

@@ -236,6 +236,12 @@ impl WorkspaceLanes {
         self.cap
     }
 
+    /// Heap bytes of one lane's private factor-ordered matrix template
+    /// (every lane clones it at construction).
+    pub(crate) fn template_bytes(&self) -> u64 {
+        self.template.memory_bytes()
+    }
+
     /// Usage counters (cheap snapshot under the pool lock).
     pub(crate) fn stats(&self) -> LaneStats {
         let st = self.state.lock().unwrap();

@@ -296,6 +296,41 @@ impl SymbolicCholesky {
         self.sym.nnz
     }
 
+    /// Estimated resident bytes of this handle: the symbolic structure,
+    /// the cached solve plan, the retained pattern copy and value map,
+    /// plus a worst-case workspace estimate for every lane the pool may
+    /// create ([`factor_lanes`](Self::factor_lanes) ×
+    /// [`lane_memory_bytes`](Self::lane_memory_bytes) — lanes are built
+    /// lazily, so a lightly used handle occupies less; a cache evicting
+    /// on this number never under-accounts). Counts element storage, not
+    /// allocator slack.
+    pub fn memory_bytes(&self) -> u64 {
+        let usz = std::mem::size_of::<usize>() as u64;
+        self.sym.memory_bytes()
+            + self.plan.memory_bytes()
+            + 2 * self.sym.n as u64 * usz // total_perm: old_of + new_of
+            + (self.pattern_colptr.len() + self.pattern_rowind.len() + self.value_map.len())
+                as u64
+                * usz
+            + self.factor_lanes() as u64 * self.lane_memory_bytes()
+    }
+
+    /// Worst-case heap bytes of one workspace lane: its private
+    /// factor-ordered matrix plus the engine's factor storage, the
+    /// dense update-matrix scratch (RL forms one `r × r` update per
+    /// supernode), and the diagonal-block scratch.
+    pub fn lane_memory_bytes(&self) -> u64 {
+        let f64b = std::mem::size_of::<f64>() as u64;
+        let max_diag = (0..self.sym.nsup())
+            .map(|s| self.sym.sn_ncols(s) * self.sym.sn_ncols(s))
+            .max()
+            .unwrap_or(0) as u64;
+        self.lanes.template_bytes()
+            + self.sym.total_storage_entries() * f64b
+            + self.sym.max_update_matrix_entries() as u64 * f64b
+            + max_diag * f64b
+    }
+
     /// Checks that `a` has exactly the analyzed sparsity pattern.
     fn check_pattern(&self, a: &SymCsc) -> Result<(), FactorError> {
         let expected_nnz = self.pattern_rowind.len();
@@ -347,9 +382,24 @@ impl SymbolicCholesky {
     /// possibly-poisoned workspace is torn down and rebuilt fresh on the
     /// next checkout.
     pub fn factor_with(&self, a: &SymCsc) -> Result<Factorization, FactorError> {
+        self.factor_with_ctl(a, self.deadline, &self.cancel)
+    }
+
+    /// [`factor_with`](Self::factor_with) with a per-call [`Deadline`]
+    /// and [`CancelToken`] overriding the handle defaults — the entry
+    /// point a serving front end arms per request, so one shared handle
+    /// can enforce a different remaining budget for every caller without
+    /// re-analyzing. The deadline spans the whole call including
+    /// retries/fallbacks, exactly like the handle-wide one.
+    pub fn factor_with_ctl(
+        &self,
+        a: &SymCsc,
+        deadline: Deadline,
+        cancel: &CancelToken,
+    ) -> Result<Factorization, FactorError> {
         self.check_pattern(a)?;
         let mut guard = self.lanes.checkout()?;
-        let result = self.run_engine(guard.lane(), a);
+        let result = self.run_engine(guard.lane(), a, deadline, cancel);
         if let Err(e) = &result {
             if e.is_device() {
                 guard.quarantine();
@@ -368,6 +418,20 @@ impl SymbolicCholesky {
     /// with [`FactorError::Cancelled`] (in-flight ones abort at their
     /// next executor checkpoint).
     pub fn batch_factor(&self, batch: &[&SymCsc]) -> Vec<Result<Factorization, FactorError>> {
+        self.batch_factor_ctl(batch, self.deadline, &self.cancel)
+    }
+
+    /// [`batch_factor`](Self::batch_factor) with a per-call [`Deadline`]
+    /// and [`CancelToken`] overriding the handle defaults: every slot of
+    /// the batch runs under the caller's budget, so a serving front end
+    /// can bound a whole batch request without touching the shared
+    /// handle's configuration.
+    pub fn batch_factor_ctl(
+        &self,
+        batch: &[&SymCsc],
+        deadline: Deadline,
+        cancel: &CancelToken,
+    ) -> Vec<Result<Factorization, FactorError>> {
         let mut out: Vec<Option<Result<Factorization, FactorError>>> =
             (0..batch.len()).map(|_| None).collect();
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = batch
@@ -375,10 +439,10 @@ impl SymbolicCholesky {
             .zip(out.iter_mut())
             .map(|(&a, slot)| {
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    *slot = Some(if self.cancel.is_cancelled() {
+                    *slot = Some(if cancel.is_cancelled() {
                         Err(FactorError::Cancelled)
                     } else {
-                        self.factor_with(a)
+                        self.factor_with_ctl(a, deadline, cancel)
                     });
                 });
                 task
@@ -410,7 +474,7 @@ impl SymbolicCholesky {
         if let Some(trace) = fact.info.trace.take() {
             lane.ws.recycle_trace(trace);
         }
-        match self.run_engine(lane, a) {
+        match self.run_engine(lane, a, self.deadline, &self.cancel) {
             Ok(fresh) => {
                 *fact = fresh;
                 Ok(())
@@ -469,7 +533,13 @@ impl SymbolicCholesky {
     /// fallback chain reusing the already-scattered values, and data or
     /// control errors surface immediately. Every step lands in
     /// [`FactorInfo::recovery`].
-    fn run_engine(&self, lane: &mut Lane, a: &SymCsc) -> Result<Factorization, FactorError> {
+    fn run_engine(
+        &self,
+        lane: &mut Lane,
+        a: &SymCsc,
+        deadline: Deadline,
+        cancel: &CancelToken,
+    ) -> Result<Factorization, FactorError> {
         let Lane { ws, a_fact } = lane;
         let src = a.values();
         for (dst, &from) in a_fact.values_mut().iter_mut().zip(&self.value_map) {
@@ -479,7 +549,7 @@ impl SymbolicCholesky {
         // and fallbacks (the attempts are one user-visible call), while
         // the simulated budget is checked per attempt against each
         // attempt's fresh device clock.
-        ws.ctl = RunCtl::armed(self.deadline, self.cancel.clone());
+        ws.ctl = RunCtl::armed(deadline, cancel.clone());
         let mut recovery: Vec<RecoveryEvent> = Vec::new();
         let mut step = 0usize; // 0 = primary engine, 1.. = chain index
         let run = 'chain: loop {
@@ -1028,6 +1098,62 @@ mod tests {
         assert!(sc.lane_stats().peak_in_use <= 2, "lane cap respected");
         // An empty batch is a valid empty request.
         assert!(sc.batch_factor(&[]).is_empty());
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_lanes_and_covers_the_factor() {
+        let a = grid3d(5, 4, 3, Stencil::Star7, 1, 2);
+        let lanes = |n: usize| SolverOptions {
+            factor_lanes: n,
+            ..SolverOptions::default()
+        };
+        let one = SymbolicCholesky::new(&a, &lanes(1));
+        let four = SymbolicCholesky::new(&a, &lanes(4));
+        let base = one.memory_bytes();
+        assert!(base > 0);
+        // The per-lane estimate includes at least the lane's private
+        // factor-ordered matrix copy.
+        assert!(one.lane_memory_bytes() >= a.memory_bytes());
+        // The estimate is linear in the lane cap beyond the shared part.
+        assert_eq!(four.memory_bytes(), base + 3 * one.lane_memory_bytes());
+        // It covers the real factor storage a lane ends up holding.
+        let fact = one.factor_with(&a).unwrap();
+        let stored: u64 = fact.data().sn.iter().map(|v| v.len() as u64 * 8).sum();
+        assert!(
+            one.lane_memory_bytes() >= stored,
+            "estimate {} under-counts factor storage {stored}",
+            one.lane_memory_bytes()
+        );
+    }
+
+    #[test]
+    fn per_request_ctl_overrides_handle_defaults() {
+        let a = grid3d(4, 4, 3, Stencil::Star7, 1, 3);
+        let sc = SymbolicCholesky::new(&a, &SolverOptions::default());
+        // An already-expired per-request wall budget trips the first
+        // checkpoint without touching the handle's (unlimited) default.
+        let r = sc.factor_with_ctl(
+            &a,
+            Deadline::wall(std::time::Duration::ZERO),
+            &CancelToken::new(),
+        );
+        assert!(
+            matches!(r, Err(FactorError::DeadlineExceeded { .. })),
+            "{r:?}"
+        );
+        assert!(sc.factor_with(&a).is_ok(), "handle default unaffected");
+        // A per-request cancel token aborts only its own request.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(matches!(
+            sc.factor_with_ctl(&a, Deadline::none(), &cancelled),
+            Err(FactorError::Cancelled)
+        ));
+        let by_batch = sc.batch_factor_ctl(&[&a, &a], Deadline::none(), &cancelled);
+        assert!(by_batch
+            .iter()
+            .all(|r| matches!(r, Err(FactorError::Cancelled))));
+        assert!(sc.factor_with(&a).is_ok(), "handle token still open");
     }
 
     #[test]

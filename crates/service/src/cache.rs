@@ -1,0 +1,299 @@
+//! Symbolic-handle cache: fingerprint → `Arc<SymbolicCholesky>` with
+//! byte-accurate accounting, LRU eviction against a configurable budget,
+//! and single-flight miss coalescing.
+//!
+//! Symbolic analysis is the expensive, values-independent prefix of a
+//! solve — amortizing one handle across every request with the same
+//! pattern is the whole point of the service. The cache guarantees:
+//!
+//! * **Single flight** — when N threads miss on the same key
+//!   concurrently, exactly one runs the analysis; the rest block on a
+//!   per-key condvar and wake with the shared handle
+//!   ([`CacheOutcome::CoalescedMiss`]). A panicking builder wakes the
+//!   waiters (one of them retries the build) instead of deadlocking them.
+//! * **Byte-accurate budget** — each entry is charged
+//!   [`SymbolicCholesky::memory_bytes`] (symbolic structure, solve
+//!   plan, and every lane workspace); least-recently-used *ready*
+//!   entries are evicted until the total fits the budget. In-flight
+//!   builds and the entry just inserted are never evicted, so the
+//!   budget is a soft ceiling: a single handle larger than the budget
+//!   still caches (and evicts everything else).
+//! * **Eviction is safe** — evicting drops the cache's `Arc`; requests
+//!   still factoring on the old handle keep it alive until they finish.
+
+use crate::fingerprint::PatternFingerprint;
+use rlchol_core::SymbolicCholesky;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a request's handle lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Handle was ready in the cache.
+    Hit,
+    /// This request ran the symbolic analysis.
+    Miss,
+    /// Another request was already analyzing the same pattern; this one
+    /// waited and shares the result.
+    CoalescedMiss,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a ready handle.
+    pub hits: u64,
+    /// Lookups that ran an analysis.
+    pub misses: u64,
+    /// Lookups that waited on another request's in-flight analysis.
+    pub coalesced: u64,
+    /// Ready entries evicted to fit the budget.
+    pub evictions: u64,
+    /// Ready entries currently cached.
+    pub entries: usize,
+    /// Bytes currently charged.
+    pub bytes: u64,
+    /// High-water mark of charged bytes.
+    pub peak_bytes: u64,
+    /// The configured budget.
+    pub budget_bytes: u64,
+}
+
+#[derive(Default)]
+enum BuildState {
+    #[default]
+    Pending,
+    Ready(Arc<SymbolicCholesky>),
+    /// The builder panicked; a waiter must retry the build.
+    Failed,
+}
+
+#[derive(Default)]
+struct Build {
+    state: Mutex<BuildState>,
+    cv: Condvar,
+}
+
+impl Build {
+    fn complete(&self, result: Option<Arc<SymbolicCholesky>>) {
+        let mut st = self.state.lock().unwrap();
+        *st = match result {
+            Some(h) => BuildState::Ready(h),
+            None => BuildState::Failed,
+        };
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Option<Arc<SymbolicCholesky>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match &*st {
+                BuildState::Pending => st = self.cv.wait(st).unwrap(),
+                BuildState::Ready(h) => return Some(h.clone()),
+                BuildState::Failed => return None,
+            }
+        }
+    }
+}
+
+struct Entry {
+    handle: Arc<SymbolicCholesky>,
+    bytes: u64,
+    last_used: u64,
+}
+
+enum Slot {
+    Ready(Entry),
+    Building(Arc<Build>),
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<PatternFingerprint, Slot>,
+    tick: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+    peak_bytes: u64,
+}
+
+/// The handle cache. All methods take `&self`; one `Mutex` guards the
+/// map and counters, and analyses run *outside* it.
+pub struct HandleCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+/// Removes the `Building` slot and fails the waiters if the builder
+/// unwinds (panic inside the analysis closure).
+struct BuildGuard<'a> {
+    cache: &'a HandleCache,
+    key: PatternFingerprint,
+    build: &'a Arc<Build>,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut st = self.cache.inner.lock().unwrap();
+        if matches!(st.map.get(&self.key), Some(Slot::Building(_))) {
+            st.map.remove(&self.key);
+        }
+        drop(st);
+        self.build.complete(None);
+    }
+}
+
+impl HandleCache {
+    /// A cache charging entries against `budget_bytes`.
+    pub fn new(budget_bytes: u64) -> Self {
+        HandleCache {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// True when `key` maps to a *ready* handle right now (test hook).
+    pub fn contains(&self, key: &PatternFingerprint) -> bool {
+        matches!(
+            self.inner.lock().unwrap().map.get(key),
+            Some(Slot::Ready(_))
+        )
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let st = self.inner.lock().unwrap();
+        CacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            coalesced: st.coalesced,
+            evictions: st.evictions,
+            entries: st
+                .map
+                .values()
+                .filter(|s| matches!(s, Slot::Ready(_)))
+                .count(),
+            bytes: st.bytes,
+            peak_bytes: st.peak_bytes,
+            budget_bytes: self.budget,
+        }
+    }
+
+    /// Returns the handle for `key`, running `build` at most once per
+    /// concurrent miss group. `build` runs outside the cache lock.
+    pub fn get_or_analyze<F>(
+        &self,
+        key: PatternFingerprint,
+        build: F,
+    ) -> (Arc<SymbolicCholesky>, CacheOutcome)
+    where
+        F: FnOnce() -> SymbolicCholesky,
+    {
+        enum Action {
+            Hit(Arc<SymbolicCholesky>),
+            Wait(Arc<Build>),
+            Build(Arc<Build>),
+        }
+        let mut build = Some(build);
+        loop {
+            let action = {
+                let mut st = self.inner.lock().unwrap();
+                st.tick += 1;
+                let tick = st.tick;
+                let action = match st.map.get_mut(&key) {
+                    Some(Slot::Ready(e)) => {
+                        e.last_used = tick;
+                        Action::Hit(e.handle.clone())
+                    }
+                    Some(Slot::Building(b)) => Action::Wait(b.clone()),
+                    None => {
+                        let b = Arc::new(Build::default());
+                        st.map.insert(key, Slot::Building(b.clone()));
+                        Action::Build(b)
+                    }
+                };
+                match &action {
+                    Action::Hit(_) => st.hits += 1,
+                    Action::Wait(_) => st.coalesced += 1,
+                    Action::Build(_) => st.misses += 1,
+                }
+                action
+            };
+            match action {
+                Action::Hit(handle) => return (handle, CacheOutcome::Hit),
+                Action::Wait(in_flight) => match in_flight.wait() {
+                    Some(handle) => return (handle, CacheOutcome::CoalescedMiss),
+                    // The builder panicked; loop and try to become the
+                    // builder ourselves (our closure is still unconsumed).
+                    None => continue,
+                },
+                Action::Build(b) => {
+                    let mut guard = BuildGuard {
+                        cache: self,
+                        key,
+                        build: &b,
+                        armed: true,
+                    };
+                    let handle = Arc::new((build.take().expect(
+                        "the builder closure is consumed at most once: a retry loops \
+                         back only after *another* thread's build failed",
+                    ))());
+                    guard.armed = false;
+                    self.finish_build(key, &handle);
+                    b.complete(Some(handle.clone()));
+                    return (handle, CacheOutcome::Miss);
+                }
+            }
+        }
+    }
+
+    /// Installs the finished handle, charges its bytes and evicts LRU
+    /// ready entries (never `key` itself) until the budget fits.
+    fn finish_build(&self, key: PatternFingerprint, handle: &Arc<SymbolicCholesky>) {
+        let bytes = handle.memory_bytes();
+        let mut st = self.inner.lock().unwrap();
+        st.tick += 1;
+        let tick = st.tick;
+        st.map.insert(
+            key,
+            Slot::Ready(Entry {
+                handle: handle.clone(),
+                bytes,
+                last_used: tick,
+            }),
+        );
+        st.bytes += bytes;
+        while st.bytes > self.budget {
+            let victim = st
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(e) if *k != key => Some((*k, e.last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, used)| used)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    if let Some(Slot::Ready(e)) = st.map.remove(&k) {
+                        st.bytes -= e.bytes;
+                        st.evictions += 1;
+                    }
+                }
+                None => break, // only the new entry (or builds) remain
+            }
+        }
+        st.peak_bytes = st.peak_bytes.max(st.bytes);
+    }
+}

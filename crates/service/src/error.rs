@@ -1,0 +1,155 @@
+//! Typed service-layer errors. Every failure a request can hit maps to
+//! exactly one variant — the admission gate and deadline machinery shed
+//! with [`ServiceError::Overloaded`] / [`ServiceError::DeadlineExceeded`]
+//! rather than blocking, and engine errors pass through unwrapped so
+//! callers keep the full [`FactorError`] / [`SolveError`] taxonomy.
+
+use rlchol_core::{FactorError, SolveError};
+use std::fmt;
+use std::time::Duration;
+
+/// What went wrong with one service request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The in-flight gate was full: the request was shed immediately
+    /// instead of queueing unboundedly.
+    Overloaded {
+        /// Requests in flight when the shed happened.
+        in_flight: usize,
+        /// The admission limit (resolved queue depth).
+        limit: usize,
+    },
+    /// The request's deadline expired before numeric work started
+    /// (expiry *during* factorization surfaces as
+    /// [`FactorError::DeadlineExceeded`] inside [`ServiceError::Factor`]).
+    DeadlineExceeded {
+        /// How long the request had waited when it was shed.
+        waited: Duration,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request itself is malformed (e.g. a batch value set whose
+    /// length does not match the pattern).
+    BadRequest(String),
+    /// Numeric factorization failed (typed engine error).
+    Factor(FactorError),
+    /// The triangular solve failed (typed solve error).
+    Solve(SolveError),
+    /// A wire-protocol frame could not be decoded.
+    Protocol(String),
+}
+
+impl ServiceError {
+    /// Stable lowercase tag for JSON responses and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::DeadlineExceeded { .. } => "deadline",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::Factor(_) => "factor",
+            ServiceError::Solve(_) => "solve",
+            ServiceError::Protocol(_) => "protocol",
+        }
+    }
+
+    /// True when the error is load shedding (admission or deadline) as
+    /// opposed to a genuine numeric/protocol failure — overload tests
+    /// and the bench use this to separate "shed by design" from broken.
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Overloaded { .. }
+                | ServiceError::DeadlineExceeded { .. }
+                | ServiceError::ShuttingDown
+                | ServiceError::Factor(FactorError::DeadlineExceeded { .. })
+                | ServiceError::Factor(FactorError::Cancelled)
+                | ServiceError::Factor(FactorError::LanesExhausted { .. })
+        )
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} requests in flight (limit {limit}); \
+                 request shed — retry with backoff"
+            ),
+            ServiceError::DeadlineExceeded { waited } => write!(
+                f,
+                "request deadline expired after {:.1} ms before work started",
+                waited.as_secs_f64() * 1e3
+            ),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Factor(e) => write!(f, "factorization failed: {e}"),
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Factor(e) => Some(e),
+            ServiceError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FactorError> for ServiceError {
+    fn from(e: FactorError) -> Self {
+        ServiceError::Factor(e)
+    }
+}
+
+impl From<SolveError> for ServiceError {
+    fn from(e: SolveError) -> Self {
+        ServiceError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_sheds_are_classified() {
+        let overload = ServiceError::Overloaded {
+            in_flight: 4,
+            limit: 4,
+        };
+        assert_eq!(overload.kind(), "overloaded");
+        assert!(overload.is_shed());
+        assert!(overload.to_string().contains("4 requests in flight"));
+
+        let deadline = ServiceError::DeadlineExceeded {
+            waited: Duration::from_millis(5),
+        };
+        assert_eq!(deadline.kind(), "deadline");
+        assert!(deadline.is_shed());
+
+        let factor: ServiceError = FactorError::Cancelled.into();
+        assert_eq!(factor.kind(), "factor");
+        assert!(factor.is_shed(), "cancel/deadline engine errors are sheds");
+
+        let hard: ServiceError = FactorError::NotPositiveDefinite { column: 3 }.into();
+        assert!(!hard.is_shed(), "numeric failure is not a shed");
+
+        let solve: ServiceError = SolveError::RhsDimension {
+            expected: 4,
+            found: 3,
+        }
+        .into();
+        assert_eq!(solve.kind(), "solve");
+        assert!(!solve.is_shed());
+
+        assert_eq!(ServiceError::ShuttingDown.kind(), "shutting_down");
+        assert_eq!(ServiceError::BadRequest("x".into()).kind(), "bad_request");
+        assert_eq!(ServiceError::Protocol("x".into()).kind(), "protocol");
+    }
+}

@@ -1,0 +1,129 @@
+//! Pattern fingerprinting — the cache key for symbolic handles.
+//!
+//! Two requests share a [`SymbolicCholesky`](rlchol_core::SymbolicCholesky)
+//! handle exactly when they have the same sparsity pattern (dimension,
+//! column pointers, row indices — values are irrelevant to analysis) and
+//! the same analysis-shaping options (engine method and fill-reducing
+//! ordering). The fingerprint stores `n` and `nnz` verbatim plus a
+//! 128-bit pattern digest (two FNV-1a-64 streams with independent
+//! seeds), so accidental collisions need simultaneous agreement of both
+//! hashes *and* the explicit fields. Even then a collision is contained:
+//! `factor_with` re-walks the pattern and rejects a foreign matrix with
+//! a typed `PatternMismatch` — a wrong cache hit can never silently
+//! corrupt numerics.
+
+use rlchol_core::solver::SolverOptions;
+use rlchol_core::Method;
+use rlchol_ordering::OrderingMethod;
+use rlchol_sparse::SymCsc;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const SEED_A: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+const SEED_B: u64 = 0x9e37_79b9_7f4a_7c15; // golden-ratio increment
+
+/// Identity of one (pattern, method, ordering) analysis product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternFingerprint {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Stored lower-triangle nonzeros.
+    pub nnz: u64,
+    /// Engine index into [`Method::ALL`].
+    method: u8,
+    /// Ordering tag.
+    ordering: u8,
+    /// 128-bit pattern digest.
+    hash: [u64; 2],
+}
+
+fn fnv1a(seed: u64, words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = seed;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+fn ordering_tag(o: OrderingMethod) -> u8 {
+    match o {
+        OrderingMethod::Natural => 0,
+        OrderingMethod::MinDegree => 1,
+        OrderingMethod::Rcm => 2,
+        OrderingMethod::NestedDissection => 3,
+    }
+}
+
+impl PatternFingerprint {
+    /// Fingerprints `a`'s pattern under the analysis-shaping options
+    /// (engine `method`, fill-reducing `ordering`).
+    pub fn of(a: &SymCsc, method: Method, ordering: OrderingMethod) -> Self {
+        let method_idx = Method::ALL
+            .iter()
+            .position(|m| *m == method)
+            .expect("Method::ALL enumerates every engine") as u8;
+        let words = || {
+            std::iter::once(a.n() as u64)
+                .chain(a.colptr().iter().map(|&p| p as u64))
+                .chain(a.rowind().iter().map(|&r| r as u64))
+        };
+        PatternFingerprint {
+            n: a.n() as u64,
+            nnz: a.rowind().len() as u64,
+            method: method_idx,
+            ordering: ordering_tag(ordering),
+            hash: [fnv1a(SEED_A, words()), fnv1a(SEED_B, words())],
+        }
+    }
+
+    /// Fingerprint under a full option set (the fields that shape
+    /// analysis: method + ordering).
+    pub fn of_request(a: &SymCsc, opts: &SolverOptions) -> Self {
+        Self::of(a, opts.method, opts.ordering)
+    }
+
+    /// Short hex digest for logs and metrics.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hash[0], self.hash[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlchol_matgen::{grid3d, laplace2d, Stencil};
+
+    #[test]
+    fn same_pattern_same_key_values_ignored() {
+        let a = grid3d(3, 3, 3, Stencil::Star7, 1, 7);
+        let b = grid3d(3, 3, 3, Stencil::Star7, 1, 99); // same pattern, new values
+        let ka = PatternFingerprint::of(&a, Method::RlbCpu, OrderingMethod::MinDegree);
+        let kb = PatternFingerprint::of(&b, Method::RlbCpu, OrderingMethod::MinDegree);
+        assert_eq!(ka, kb, "values must not affect the fingerprint");
+        assert_eq!(ka.hex().len(), 32);
+    }
+
+    #[test]
+    fn pattern_method_and_ordering_all_discriminate() {
+        let a = grid3d(3, 3, 3, Stencil::Star7, 1, 7);
+        let c = laplace2d(5, 7);
+        let base = PatternFingerprint::of(&a, Method::RlbCpu, OrderingMethod::MinDegree);
+        assert_ne!(
+            base,
+            PatternFingerprint::of(&c, Method::RlbCpu, OrderingMethod::MinDegree),
+            "different patterns"
+        );
+        assert_ne!(
+            base,
+            PatternFingerprint::of(&a, Method::RlCpu, OrderingMethod::MinDegree),
+            "different engine"
+        );
+        assert_ne!(
+            base,
+            PatternFingerprint::of(&a, Method::RlbCpu, OrderingMethod::Natural),
+            "different ordering"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Handle-cache semantics: LRU eviction order against the byte budget,
+//! and a model-based property test of the accounting.
+
+use proptest::prelude::*;
+use rlchol_core::solver::SolverOptions;
+use rlchol_core::SymbolicCholesky;
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_service::{CacheOutcome, HandleCache, PatternFingerprint};
+use rlchol_sparse::SymCsc;
+
+/// Distinct small patterns (different grid shapes → different
+/// fingerprints), values irrelevant to the cache.
+fn pattern(i: usize) -> SymCsc {
+    let dims = [
+        (3, 3, 2),
+        (4, 3, 2),
+        (4, 4, 2),
+        (5, 4, 2),
+        (5, 5, 2),
+        (6, 5, 2),
+    ];
+    let (x, y, z) = dims[i % dims.len()];
+    grid3d(x, y, z, Stencil::Star7, 1, 7)
+}
+
+fn key_and_handle(i: usize) -> (PatternFingerprint, SymbolicCholesky) {
+    let a = pattern(i);
+    let opts = SolverOptions::default();
+    let key = PatternFingerprint::of_request(&a, &opts);
+    (key, SymbolicCholesky::new(&a, &opts))
+}
+
+#[test]
+fn lru_evicts_least_recently_used_ready_entry() {
+    // Budget fits A, B, C exactly; inserting D must evict the LRU.
+    // Budget admits {A,B,C} with no eviction AND {A,C,D} after exactly
+    // one eviction (D may be larger than B).
+    let handles: Vec<_> = (0..4).map(key_and_handle).collect();
+    let sizes: Vec<u64> = handles.iter().map(|(_, h)| h.memory_bytes()).collect();
+    let budget = (sizes[0] + sizes[1] + sizes[2]).max(sizes[0] + sizes[2] + sizes[3]);
+
+    let cache = HandleCache::new(budget);
+    let mut iter = handles.into_iter();
+    let (ka, ha) = iter.next().unwrap();
+    let (kb, hb) = iter.next().unwrap();
+    let (kc, hc) = iter.next().unwrap();
+    let (kd, hd) = iter.next().unwrap();
+
+    assert_eq!(cache.get_or_analyze(ka, move || ha).1, CacheOutcome::Miss);
+    assert_eq!(cache.get_or_analyze(kb, move || hb).1, CacheOutcome::Miss);
+    assert_eq!(cache.get_or_analyze(kc, move || hc).1, CacheOutcome::Miss);
+    assert_eq!(cache.stats().entries, 3);
+    assert_eq!(cache.stats().bytes, sizes[0] + sizes[1] + sizes[2]);
+
+    // Touch A so B becomes least recently used.
+    let (_, outcome) = cache.get_or_analyze(ka, || panic!("A is cached"));
+    assert_eq!(outcome, CacheOutcome::Hit);
+
+    assert_eq!(cache.get_or_analyze(kd, move || hd).1, CacheOutcome::Miss);
+    assert!(cache.contains(&ka), "recently touched entry survives");
+    assert!(!cache.contains(&kb), "LRU entry was evicted");
+    assert!(cache.contains(&kc));
+    assert!(cache.contains(&kd));
+
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.entries, 3);
+    assert_eq!(stats.bytes, sizes[0] + sizes[2] + sizes[3]);
+    assert!(stats.bytes <= budget);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 4);
+}
+
+#[test]
+fn an_entry_larger_than_the_budget_still_caches_alone() {
+    let (key, handle) = key_and_handle(5);
+    let bytes = handle.memory_bytes();
+    let cache = HandleCache::new(bytes / 2);
+    let (_, outcome) = cache.get_or_analyze(key, move || handle);
+    assert_eq!(outcome, CacheOutcome::Miss);
+    assert!(
+        cache.contains(&key),
+        "the just-built entry is never evicted, even over budget"
+    );
+    let (_, outcome) = cache.get_or_analyze(key, || panic!("cached"));
+    assert_eq!(outcome, CacheOutcome::Hit);
+    assert_eq!(cache.stats().bytes, bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Model-based accounting check: replay a random access sequence
+    /// against a reference LRU and require identical residency, byte
+    /// totals (always the exact sum of resident handles), and budget
+    /// compliance whenever more than one entry is resident.
+    #[test]
+    fn byte_accounting_matches_a_model_lru(
+        seed in any::<u64>(),
+        budget_slots in 1usize..5,
+        accesses in 8usize..40,
+    ) {
+        let rng = &mut TestRng::for_case(seed);
+        let built: Vec<_> = (0..6).map(key_and_handle).collect();
+        let sizes: Vec<u64> = built.iter().map(|(_, h)| h.memory_bytes()).collect();
+        let max_size = *sizes.iter().max().unwrap();
+        let budget = max_size * budget_slots as u64;
+        let cache = HandleCache::new(budget);
+
+        // Model: (index, last_used) of resident entries.
+        let mut model: Vec<(usize, u64)> = Vec::new();
+        let mut tick = 0u64;
+
+        for _ in 0..accesses {
+            let i = (rng.next_u64() % 6) as usize;
+            tick += 1;
+            let key = built[i].0;
+            let expect_hit = model.iter().any(|&(m, _)| m == i);
+            let (_, outcome) = cache.get_or_analyze(key, || {
+                let (_, h) = key_and_handle(i);
+                h
+            });
+            if expect_hit {
+                prop_assert_eq!(outcome, CacheOutcome::Hit);
+                model.iter_mut().find(|(m, _)| *m == i).unwrap().1 = tick;
+            } else {
+                prop_assert_eq!(outcome, CacheOutcome::Miss);
+                model.push((i, tick));
+                // Evict model-LRU (never the new entry) while over budget.
+                loop {
+                    let total: u64 = model.iter().map(|&(m, _)| sizes[m]).sum();
+                    if total <= budget {
+                        break;
+                    }
+                    let victim = model
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(m, _))| m != i)
+                        .min_by_key(|(_, &(_, used))| used)
+                        .map(|(pos, _)| pos);
+                    match victim {
+                        Some(pos) => { model.remove(pos); }
+                        None => break,
+                    }
+                }
+            }
+
+            let stats = cache.stats();
+            let model_bytes: u64 = model.iter().map(|&(m, _)| sizes[m]).sum();
+            prop_assert_eq!(stats.bytes, model_bytes, "bytes are the exact sum");
+            prop_assert_eq!(stats.entries, model.len());
+            if model.len() > 1 {
+                prop_assert!(stats.bytes <= budget, "budget holds with >1 entry");
+            }
+            for m in 0..6 {
+                prop_assert_eq!(
+                    cache.contains(&built[m].0),
+                    model.iter().any(|&(k, _)| k == m),
+                    "residency diverged from the model at pattern {}", m
+                );
+            }
+        }
+    }
+}

@@ -129,6 +129,14 @@ impl SymCsc {
         2 * self.nnz_lower() - self.n
     }
 
+    /// Heap bytes of this matrix's storage (column pointers, row
+    /// indices, values).
+    pub fn memory_bytes(&self) -> u64 {
+        let usz = std::mem::size_of::<usize>() as u64;
+        (self.colptr.len() + self.rowind.len()) as u64 * usz
+            + self.values.len() as u64 * std::mem::size_of::<f64>() as u64
+    }
+
     /// Column pointers (length `n + 1`).
     pub fn colptr(&self) -> &[usize] {
         &self.colptr

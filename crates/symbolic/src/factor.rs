@@ -135,6 +135,27 @@ impl SymbolicFactor {
         (0..self.nsup()).map(|s| self.sn_storage(s) as u64).sum()
     }
 
+    /// Heap bytes held by the symbolic structure itself: the composed
+    /// permutation, the supernode partition and tree, the per-supernode
+    /// row lists and row-block decompositions. Counts element storage
+    /// (plus the per-`Vec` headers of the jagged lists), not allocator
+    /// slack — the estimate a cache accounting resident handles needs.
+    pub fn memory_bytes(&self) -> u64 {
+        let usz = std::mem::size_of::<usize>() as u64;
+        let vec_hdr = 3 * usz;
+        let mut bytes = 2 * self.n as u64 * usz; // perm: old_of + new_of
+        bytes += (self.sn.sn_start.len() + self.sn.col_to_sn.len()) as u64 * usz;
+        bytes += self.sn_parent.len() as u64 * usz;
+        for rows in &self.rows {
+            bytes += vec_hdr + rows.len() as u64 * usz;
+        }
+        let block = std::mem::size_of::<RowBlock>() as u64;
+        for blocks in &self.blocks {
+            bytes += vec_hdr + blocks.len() as u64 * block;
+        }
+        bytes
+    }
+
     /// Internal consistency check (debug/test helper). Verifies partition
     /// validity, row ordering, topological rows, and block coverage.
     pub fn validate(&self) -> Result<(), String> {

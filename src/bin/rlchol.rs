@@ -2,21 +2,28 @@
 //!
 //! ```text
 //! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural]
-//! rlchol factor  <matrix.mtx> [--method <engine>] [--ordering ...]
-//! rlchol solve   <matrix.mtx> [--method ...]   # b = A·1, reports errors
+//! rlchol factor  <matrix.mtx> [--method <engine>] [--ordering ...] [--json]
+//! rlchol solve   <matrix.mtx> [--method ...] [--json]  # b = A·1, reports errors
 //! rlchol spy     <matrix.mtx> [--size N]       # ASCII sparsity plot
+//! rlchol serve   <addr>       [--method ...]   # solver-as-a-service daemon
 //! ```
 //!
 //! `--method` accepts every registered engine; the list in `--help`
 //! output is generated from [`Method::ALL`], so a newly registered
-//! engine shows up here with no CLI change.
+//! engine shows up here with no CLI change. `--json` switches `factor`
+//! and `solve` to a single machine-readable JSON report on stdout
+//! (same schema as the service protocol's response frames).
 //!
 //! Matrices are Matrix Market files (`coordinate real|pattern`,
-//! `symmetric` or `general` holding a symmetric matrix).
+//! `symmetric` or `general` holding a symmetric matrix). `serve` takes
+//! a listen address (e.g. `127.0.0.1:7211`) instead of a matrix and
+//! serves the framed request protocol of `rlchol::service` until a
+//! client sends the shutdown op.
 
 use std::time::Duration;
 
 use rlchol::core::engine::{GpuOptions, Method, RetireMode};
+use rlchol::core::json::{factor_info_json, solve_info_json, JsonObj};
 use rlchol::perfmodel::MachineModel;
 use rlchol::report::spy_lower;
 use rlchol::sparse::read_matrix_market;
@@ -42,7 +49,8 @@ fn usage() -> ! {
          [--factor-lanes N] [--size N] [--gpu-threshold N] \
          [--retire inorder|ooo] [--lookahead N] \
          [--faults SPEC[,SPEC...]] [--fallback auto|m1>m2>...] \
-         [--deadline-ms N]",
+         [--deadline-ms N] [--json]\n\
+         \x20      rlchol serve <addr> [solver flags as above]",
         method_names()
     );
     std::process::exit(2);
@@ -62,6 +70,7 @@ struct Args {
     faults: Option<FaultPlan>,
     fallback: Option<FallbackChain>,
     deadline_ms: Option<u64>,
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -79,7 +88,13 @@ fn parse_args() -> Args {
     let mut faults = None;
     let mut fallback = None;
     let mut deadline_ms = None;
+    let mut json = false;
     while let Some(flag) = it.next() {
+        // Boolean flags take no value.
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let value = it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--method" => {
@@ -150,6 +165,7 @@ fn parse_args() -> Args {
         faults,
         fallback,
         deadline_ms,
+        json,
     }
 }
 
@@ -191,8 +207,23 @@ fn solver_options(args: &Args) -> SolverOptions {
 
 fn main() {
     let args = parse_args();
+    if args.cmd == "serve" {
+        // `path` is the listen address; everything else configures the
+        // solver options every request starts from.
+        let cfg = rlchol::service::ServiceConfig {
+            options: solver_options(&args),
+            ..Default::default()
+        };
+        if let Err(e) = rlchol::service::run_server(&args.path, cfg) {
+            eprintln!("rlchol serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let a = load(&args.path);
-    println!("matrix: n = {}, nnz(lower) = {}", a.n(), a.nnz_lower());
+    if !args.json {
+        println!("matrix: n = {}, nnz(lower) = {}", a.n(), a.nnz_lower());
+    }
     match args.cmd.as_str() {
         "spy" => {
             println!(
@@ -225,6 +256,12 @@ fn main() {
                 sym.max_update_matrix_entries()
             );
             println!(
+                "handle memory: {:.2} MiB resident ({:.2} MiB per additional lane, {} lane(s))",
+                handle.memory_bytes() as f64 / (1 << 20) as f64,
+                handle.lane_memory_bytes() as f64 / (1 << 20) as f64,
+                handle.factor_lanes()
+            );
+            println!(
                 "analysis wall time: {:.1} ms",
                 t0.elapsed().as_secs_f64() * 1e3
             );
@@ -233,6 +270,19 @@ fn main() {
             let handle = CholeskySolver::analyze(&a, &solver_options(&args));
             let fact = handle.factor_with(&a).unwrap_or_else(|e| fail(e));
             let info = fact.info();
+            if args.json {
+                let obj = JsonObj::new()
+                    .str("op", "factor")
+                    .str("method", args.method.cli_name())
+                    .u64("n", a.n() as u64)
+                    .u64("nnz_lower", a.nnz_lower() as u64)
+                    .u64("factor_nnz", handle.factor_nnz())
+                    .u64("memory_bytes", handle.memory_bytes())
+                    .raw("info", &factor_info_json(info))
+                    .finish();
+                println!("{obj}");
+                return;
+            }
             println!(
                 "factored with {} in {:.1} ms (nnz(L) = {})",
                 args.method.label(),
@@ -288,6 +338,30 @@ fn main() {
             let mut b = vec![0.0; n];
             a.matvec(&ones, &mut b);
             let info = handle.solve_info();
+            if args.json {
+                let mut x = vec![0.0; n];
+                let mut ws = SolveWorkspace::warm(n, 1);
+                let resid = handle
+                    .solve_refined(&fact, &a, &b, &mut x, 2, &mut ws)
+                    .unwrap_or_else(|e| {
+                        eprintln!("rlchol: solve failed: {e}");
+                        std::process::exit(1);
+                    });
+                let err = x.iter().fold(0.0f64, |m, &v| m.max((v - 1.0).abs()));
+                let obj = JsonObj::new()
+                    .str("op", "solve")
+                    .str("method", args.method.cli_name())
+                    .u64("n", a.n() as u64)
+                    .u64("nnz_lower", a.nnz_lower() as u64)
+                    .u64("factor_nnz", handle.factor_nnz())
+                    .f64("max_error", err)
+                    .f64("refined_residual", resid)
+                    .raw("factor", &factor_info_json(fact.info()))
+                    .raw("solve", &solve_info_json(&info))
+                    .finish();
+                println!("{obj}");
+                return;
+            }
             println!(
                 "solve plan: {} levels, max width {}; path: {}",
                 info.levels,

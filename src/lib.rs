@@ -173,6 +173,40 @@
 //! assert_eq!(fact.data(), clean.factor_data());
 //! ```
 //!
+//! ## Serving — solver-as-a-service
+//!
+//! The [`service`] crate wraps the staged API in a long-running,
+//! request-serving front end: a [`service::Service`] owns a
+//! **symbolic-handle cache** (pattern fingerprint →
+//! `Arc<SymbolicCholesky>`, LRU-evicted against a byte budget measured
+//! by [`SymbolicCholesky::memory_bytes`], single-flight miss
+//! coalescing) and an **admission gate** that sheds excess load with a
+//! typed [`service::ServiceError::Overloaded`] instead of queueing
+//! unboundedly. Per-request deadlines thread into the same
+//! [`Deadline`]/[`CancelToken`] machinery the engines already honor.
+//!
+//! ```
+//! use rlchol::service::{Request, Service, ServiceConfig};
+//! use rlchol::matgen::{grid3d, Stencil};
+//!
+//! let service = Service::new(ServiceConfig::default());
+//! let a = grid3d(4, 4, 3, Stencil::Star7, 1, 7);
+//! let b = vec![1.0; a.n()];
+//! let first = service.submit(Request::solve(a.clone(), b.clone())).unwrap();
+//! let warm = service.submit(Request::solve(a, b)).unwrap();
+//! assert_eq!(warm.metrics.cache, rlchol::service::CacheOutcome::Hit);
+//! # let _ = first;
+//! ```
+//!
+//! Out of process, the same service speaks a framed length-prefixed
+//! protocol over localhost TCP (`rlchol-serve` daemon or `rlchol serve
+//! 127.0.0.1:7211`; [`service::Client`] is the blocking client). Knobs
+//! follow the usual precedence, resolved once at service construction:
+//! explicit [`service::ServiceConfig`] field, else **`RLCHOL_CACHE_BYTES`**
+//! (handle-cache budget, default 256 MiB) / **`RLCHOL_QUEUE_DEPTH`**
+//! (admission limit, default 2 × factor lanes — which themselves
+//! resolve via `RLCHOL_FACTOR_LANES` as above).
+//!
 //! ## Engines
 //!
 //! Numeric factorization dispatches through the
@@ -199,6 +233,7 @@
 //! | [`perfmodel`] | calibrated CPU/GPU cost models and traces |
 //! | [`matgen`] | SPD generators and the paper's 21-matrix synthetic suite |
 //! | [`core`] | engines + registry, staged solver, hybrid dispatch, solves |
+//! | [`service`] | request serving: handle cache, admission control, wire protocol |
 //! | [`report`] | performance profiles, tables, plots |
 //!
 //! ## Threads, streams and solve lanes
@@ -245,6 +280,7 @@ pub use rlchol_matgen as matgen;
 pub use rlchol_ordering as ordering;
 pub use rlchol_perfmodel as perfmodel;
 pub use rlchol_report as report;
+pub use rlchol_service as service;
 pub use rlchol_sparse as sparse;
 pub use rlchol_symbolic as symbolic;
 

@@ -53,6 +53,22 @@ fn count_allocs(f: impl FnOnce()) -> usize {
     ALLOCS.load(Ordering::SeqCst)
 }
 
+/// Asserts `f` performs zero heap allocations, retrying up to three
+/// attempts. The counter is process-global, so rare allocations from
+/// runtime/harness threads can land inside a counted window on a loaded
+/// single-CPU host; those are transient across attempts, while a real
+/// hot-path allocation recurs on every one.
+fn assert_alloc_free(label: &str, mut f: impl FnMut()) {
+    let mut allocs = 0;
+    for _ in 0..3 {
+        allocs = count_allocs(&mut f);
+        if allocs == 0 {
+            return;
+        }
+    }
+    panic!("{label} allocated {allocs} times after warm-up");
+}
+
 /// Lets freshly spawned pool workers finish their one-time thread
 /// startup (which allocates) before counting begins. On a single-CPU
 /// host the children may not have been scheduled at all until the main
@@ -85,7 +101,7 @@ fn solves_are_allocation_free_after_warm_up() {
     settle_pool();
 
     // Steady state: repeated solves must not touch the heap.
-    let allocs = count_allocs(|| {
+    assert_alloc_free("solve path", || {
         for _ in 0..5 {
             handle.solve_into(&fact, &b[..n], &mut x, &mut ws).unwrap();
             handle.solve_many(&fact, &b, &mut xs, k, &mut ws).unwrap();
@@ -94,22 +110,27 @@ fn solves_are_allocation_free_after_warm_up() {
                 .unwrap();
         }
     });
-    assert_eq!(
-        allocs, 0,
-        "solve path allocated {allocs} times after warm-up"
-    );
 
     // And a workspace pre-grown with `warm` is allocation-free from the
-    // very first call.
-    let mut warm_ws = SolveWorkspace::warm(n, k);
-    let allocs = count_allocs(|| {
-        handle
-            .solve_into(&fact, &b[..n], &mut x, &mut warm_ws)
-            .unwrap();
-        handle
-            .solve_many(&fact, &b, &mut xs, k, &mut warm_ws)
-            .unwrap();
-    });
+    // very first call. A fresh workspace per attempt, so a retry still
+    // exercises the first-use path (an under-sized `warm` would grow on
+    // attempt one and pass warmed-up otherwise).
+    let mut attempts = 0;
+    let allocs = loop {
+        let mut warm_ws = SolveWorkspace::warm(n, k);
+        let counted = count_allocs(|| {
+            handle
+                .solve_into(&fact, &b[..n], &mut x, &mut warm_ws)
+                .unwrap();
+            handle
+                .solve_many(&fact, &b, &mut xs, k, &mut warm_ws)
+                .unwrap();
+        });
+        attempts += 1;
+        if counted == 0 || attempts == 3 {
+            break counted;
+        }
+    };
     assert_eq!(
         allocs, 0,
         "warm workspace allocated {allocs} times on first use"
@@ -150,7 +171,7 @@ fn solves_are_allocation_free_after_warm_up() {
         .solve_refined(&fact_par, &a_par, &bp[..n_par], &mut xp, 2, &mut ws_par)
         .unwrap();
     settle_pool();
-    let allocs = count_allocs(|| {
+    assert_alloc_free("level-set solve path", || {
         for _ in 0..5 {
             handle_par
                 .solve_into(&fact_par, &bp[..n_par], &mut xp, &mut ws_par)
@@ -163,10 +184,6 @@ fn solves_are_allocation_free_after_warm_up() {
                 .unwrap();
         }
     });
-    assert_eq!(
-        allocs, 0,
-        "level-set solve path allocated {allocs} times after warm-up"
-    );
 
     // Lane-pooled factorization: a factor_with/recycle serving loop on a
     // warm lane must not touch the heap either. RLB applies updates
@@ -190,16 +207,12 @@ fn solves_are_allocation_free_after_warm_up() {
     let warm = handle_rlb.factor_with(&a_rlb).expect("SPD input");
     handle_rlb.recycle(warm);
     settle_pool();
-    let allocs = count_allocs(|| {
+    assert_alloc_free("lane-pooled factor_with", || {
         for _ in 0..5 {
             let fact = handle_rlb.factor_with(&a_rlb).expect("SPD input");
             handle_rlb.recycle(fact);
         }
     });
-    assert_eq!(
-        allocs, 0,
-        "lane-pooled factor_with allocated {allocs} times after warm-up"
-    );
     let stats = handle_rlb.lane_stats();
     assert_eq!(
         (stats.created, stats.in_use),
@@ -212,13 +225,9 @@ fn solves_are_allocation_free_after_warm_up() {
     let mut fact = handle_rlb.factor_with(&a_rlb).expect("SPD input");
     handle_rlb.refactor(&mut fact, &a_rlb).expect("SPD values");
     settle_pool();
-    let allocs = count_allocs(|| {
+    assert_alloc_free("lane-pooled refactor", || {
         for _ in 0..5 {
             handle_rlb.refactor(&mut fact, &a_rlb).expect("SPD values");
         }
     });
-    assert_eq!(
-        allocs, 0,
-        "lane-pooled refactor allocated {allocs} times after warm-up"
-    );
 }
