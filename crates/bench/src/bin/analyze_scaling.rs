@@ -1,0 +1,134 @@
+//! Analyze scaling trajectory: the serial symbolic pipeline against the
+//! thread-parallel one (`analyze_threads`) over a thread × ordering
+//! sweep on `grid3d(k, k, k, Star7)` — the first-contact wall every
+//! cache-miss request pays.
+//!
+//! Every parallel cell **self-asserts bit-identity** against the serial
+//! handle (`analysis_eq`: symbolic factor, permutation, solve plan,
+//! value map) before being timed — a scaling number for a divergent
+//! analysis would be meaningless.
+//!
+//! Prints a table and writes `BENCH_analyze_scaling.json` so successive
+//! PRs can track the curve. As with `BENCH_solve_scaling.json`, a 1-CPU
+//! container can only show the dispatch overhead, not speedup —
+//! regenerate on a multicore host for the real trajectory.
+//!
+//! Usage: `analyze_scaling [k] [out.json]` — `k` is the grid edge
+//! (default 20; use a smaller k for a quick smoke run).
+
+use rlchol_core::{SolverOptions, SymbolicCholesky};
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_ordering::OrderingMethod;
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const ORDERINGS: [(OrderingMethod, &str); 2] = [
+    (OrderingMethod::NestedDissection, "nd"),
+    (OrderingMethod::MinDegree, "md"),
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args
+        .next()
+        .map(|v| v.parse().expect("grid edge must be an integer"))
+        .unwrap_or(20);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_analyze_scaling.json".to_string());
+
+    // Give the persistent pool enough lanes for the sweep even when the
+    // machine reports fewer; an explicit RLCHOL_THREADS wins.
+    if std::env::var("RLCHOL_THREADS").is_err() {
+        std::env::set_var(
+            "RLCHOL_THREADS",
+            THREAD_SWEEP.iter().max().unwrap().to_string(),
+        );
+    }
+
+    let name = format!("grid3d({k}, {k}, {k}, Star7)");
+    eprintln!("generating {name} ...");
+    let a = grid3d(k, k, k, Stencil::Star7, 1, 31);
+    let n = a.n();
+    eprintln!("n = {}, nnz(lower) = {}", n, a.nnz_lower());
+
+    // Min of three runs, like the other trajectory benches.
+    let time = |f: &mut dyn FnMut()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    println!(
+        "{:>8}  {:>8}  {:>12}  {:>10}",
+        "ordering", "threads", "analyze (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (ordering, oname) in ORDERINGS {
+        let opts_for = |threads: usize| SolverOptions {
+            ordering,
+            analyze_threads: threads,
+            ..SolverOptions::default()
+        };
+        let serial_handle = SymbolicCholesky::new(&a, &opts_for(1));
+        let mut serial_s = f64::NAN;
+        for threads in THREAD_SWEEP {
+            let opts = opts_for(threads);
+            // Self-assert: the parallel pipeline must be bit-identical
+            // to the serial one before its time means anything.
+            let check = SymbolicCholesky::new(&a, &opts);
+            assert!(
+                check.analysis_eq(&serial_handle),
+                "analyze_threads={threads} ({oname}) diverged from the serial analysis"
+            );
+            let secs = time(&mut || {
+                let h = SymbolicCholesky::new(&a, &opts);
+                std::hint::black_box(&h);
+            });
+            if threads == 1 {
+                serial_s = secs;
+            }
+            let speedup = serial_s / secs;
+            println!("{oname:>8}  {threads:>8}  {secs:>12.5}  {speedup:>10.2}");
+            rows.push(format!(
+                concat!(
+                    "    {{\"ordering\": \"{}\", \"threads\": {}, ",
+                    "\"analyze_s\": {:.6}, \"speedup\": {:.4}}}"
+                ),
+                oname, threads, secs, speedup,
+            ));
+        }
+    }
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"matrix\": \"{}\",\n",
+            "  \"n\": {},\n",
+            "  \"nnz_lower\": {},\n",
+            "  \"bit_identical\": true,\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"sweep\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        name,
+        n,
+        a.nnz_lower(),
+        hw,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("writing scaling JSON");
+    eprintln!("wrote {out_path} (hardware threads: {hw})");
+    if hw == 1 {
+        eprintln!(
+            "note: this machine exposes a single hardware thread; the \
+             parallel rows measure dispatch overhead, not speedup — \
+             rerun on a multicore host for the real curve"
+        );
+    }
+}

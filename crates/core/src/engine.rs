@@ -457,8 +457,12 @@ pub fn factor_panel(
 /// Parallel variant of [`factor_panel`] (and the shared implementation —
 /// `threads == 1` is the serial engines' path): same numerics, but the
 /// panel TRSM runs its trailing updates striped over the persistent pool
-/// ([`rlchol_dense::par_trsm_rlt`]). Used by the tree scheduler when few
-/// supernodes are ready and lanes would otherwise idle.
+/// ([`rlchol_dense::par_trsm_rlt`]), and diagonal blocks spanning at
+/// least two cache blocks take the pool-parallel POTRF
+/// ([`rlchol_dense::par_potrf`]) — the last serial stretch when a wide
+/// root supernode is the only ready work. Both parallel kernels are
+/// bit-identical to their serial forms, so engine output never depends
+/// on the lane count.
 pub fn factor_panel_par(
     arr: &mut [f64],
     len: usize,
@@ -467,7 +471,11 @@ pub fn factor_panel_par(
     l11: &mut Vec<f64>,
     threads: usize,
 ) -> Result<(), usize> {
-    potrf(c, arr, len).map_err(|e| e.pivot)?;
+    if threads > 1 && c >= 2 * rlchol_dense::NB {
+        rlchol_dense::par_potrf(threads, c, arr, len).map_err(|e| e.pivot)?;
+    } else {
+        potrf(c, arr, len).map_err(|e| e.pivot)?;
+    }
     if r > 0 {
         if l11.len() < c * c {
             l11.resize(c * c, 0.0);

@@ -170,6 +170,23 @@ pub fn factor_info_json(info: &FactorInfo) -> String {
         .finish()
 }
 
+/// The per-stage analyze breakdown
+/// ([`AnalyzeBreakdown`](crate::AnalyzeBreakdown)) as JSON — one schema
+/// shared by the CLI's `analyze --json` and the service's cache-miss
+/// metrics.
+pub fn analyze_breakdown_json(b: &crate::AnalyzeBreakdown) -> String {
+    JsonObj::new()
+        .u64("threads", b.threads as u64)
+        .f64("etree_ms", b.etree.as_secs_f64() * 1e3)
+        .f64("colcount_ms", b.colcount.as_secs_f64() * 1e3)
+        .f64("merge_ms", b.merge.as_secs_f64() * 1e3)
+        .f64("relind_ms", b.relind.as_secs_f64() * 1e3)
+        .f64("solve_plan_ms", b.solve_plan.as_secs_f64() * 1e3)
+        .f64("value_map_ms", b.value_map.as_secs_f64() * 1e3)
+        .f64("total_ms", b.total().as_secs_f64() * 1e3)
+        .finish()
+}
+
 /// The solve-side report ([`SolveInfo`]) as JSON — plan shape plus the
 /// resolved dispatch path.
 pub fn solve_info_json(info: &SolveInfo) -> String {

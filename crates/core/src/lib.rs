@@ -88,5 +88,5 @@ pub use sched::{factor_rl_cpu_par, factor_rl_gpu_pipe, factor_rlb_cpu_par, facto
 pub use solve::{SolveInfo, SolvePlan};
 pub use solver::{CholeskySolver, SolverOptions};
 pub use staged::lanes::LaneStats;
-pub use staged::{Factorization, SolveWorkspace, SymbolicCholesky};
+pub use staged::{AnalyzeBreakdown, Factorization, SolveWorkspace, SymbolicCholesky};
 pub use storage::FactorData;

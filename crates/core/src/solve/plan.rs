@@ -29,14 +29,14 @@
 
 use rlchol_symbolic::SymbolicFactor;
 
-use crate::assemble::segments;
+use crate::assemble::{segments, Segment};
 
 /// One contiguous run of a source supernode's below-diagonal rows that
 /// lands in a single target supernode's columns: positions
 /// `lo..hi` of `sym.rows[src]`. The forward gather of a target replays
 /// its incoming segments in ascending `src` order, which matches the
 /// serial scatter's ascending processing order entry for entry.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GatherSeg {
     /// Source (descendant) supernode.
     pub src: usize,
@@ -50,7 +50,7 @@ pub struct GatherSeg {
 /// per-supernode incoming gather segments and per-level work-balanced
 /// slice boundaries — everything the level-set sweeps need, computed
 /// once from the pattern.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolvePlan {
     /// `order[level_ptr[l]..level_ptr[l + 1]]` are the supernodes of
     /// level `l`, ascending. Level 0 holds the forest's leaves; the
@@ -84,14 +84,47 @@ pub struct SolvePlan {
 impl SolvePlan {
     /// Computes the plan for `sym`'s elimination structure.
     pub fn build(sym: &SymbolicFactor) -> SolvePlan {
+        Self::build_par(sym, 1)
+    }
+
+    /// [`build`](Self::build) with the per-supernode gather-segment
+    /// extraction — the dominant cost, a scan of every supernode's row
+    /// list — fanned out over the persistent pool. The level and fill
+    /// passes then replay serially from the precomputed lists;
+    /// `segments` is a pure function of `(sym, s)` and the passes consume
+    /// its output in the same order as [`build`], so the plan is
+    /// identical for every `threads`.
+    pub fn build_par(sym: &SymbolicFactor, threads: usize) -> SolvePlan {
         let nsup = sym.nsup();
+        let segs: Vec<Vec<Segment>> = if threads > 1 && nsup >= 2 * threads {
+            let mut segs: Vec<Vec<Segment>> = Vec::with_capacity(nsup);
+            segs.resize_with(nsup, Vec::new);
+            let chunk = nsup.div_ceil(threads);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = segs
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(t, slot)| {
+                    let base = t * chunk;
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        for (off, dst) in slot.iter_mut().enumerate() {
+                            *dst = segments(sym, base + off);
+                        }
+                    });
+                    task
+                })
+                .collect();
+            rlchol_dense::pool::global().run(tasks);
+            segs
+        } else {
+            (0..nsup).map(|s| segments(sym, s)).collect()
+        };
         // Longest-path depth: every updater finishes strictly before its
         // target, so one ascending pass suffices (sources precede their
         // targets in the postordered supernode numbering).
         let mut level = vec![0usize; nsup];
         let mut in_counts = vec![0usize; nsup];
-        for s in 0..nsup {
-            for seg in segments(sym, s) {
+        for (s, list) in segs.iter().enumerate() {
+            for seg in list {
                 level[seg.target] = level[seg.target].max(level[s] + 1);
                 in_counts[seg.target] += 1;
             }
@@ -137,7 +170,7 @@ impl SolvePlan {
         let mut out_list = Vec::with_capacity(in_ptr[nsup]);
         for s in 0..nsup {
             let c = sym.sn_ncols(s) as u64;
-            for seg in segments(sym, s) {
+            for seg in &segs[s] {
                 in_segs[fill[seg.target]] = GatherSeg {
                     src: s,
                     lo: seg.lo,
@@ -378,6 +411,26 @@ mod tests {
         let (_, plan) = plan_for(&a);
         assert!(plan.max_width() > 1, "ND grid3d must have parallel width");
         assert!(plan.num_levels() > 1);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_exactly() {
+        for (a, tag) in [
+            (grid3d(6, 5, 4, Stencil::Star7, 1, 3), "grid"),
+            (laplace2d(17, 4), "laplace"),
+        ] {
+            let fill = order(&a, OrderingMethod::NestedDissection);
+            let af = a.permute(&fill);
+            let sym = analyze(&af, &SymbolicOptions::default());
+            let serial = SolvePlan::build(&sym);
+            for threads in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    SolvePlan::build_par(&sym, threads),
+                    serial,
+                    "{tag} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

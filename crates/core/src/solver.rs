@@ -51,6 +51,13 @@ pub struct SolverOptions {
     /// the pool default. The lane count never affects results — every
     /// lane's factor is bit-identical to the serial path.
     pub factor_lanes: usize,
+    /// Lanes for the thread-parallel symbolic analysis (column counts,
+    /// relative indices, solve plan, value map). `0` means automatic:
+    /// `RLCHOL_ANALYZE_THREADS` if set, else the pool default with a
+    /// small-system serial cutoff. `1` forces the serial pipeline,
+    /// `> 1` forces the parallel one. The analysis is bit-identical at
+    /// every lane count — only the analyze wall clock changes.
+    pub analyze_threads: usize,
     /// Engines to degrade to (in order) when the primary engine fails
     /// with a device-side error. Empty (the default) surfaces the typed
     /// error instead; [`FallbackChain::recommended`] builds the
@@ -87,6 +94,7 @@ impl Default for SolverOptions {
             threads: 0,
             solve_threads: 0,
             factor_lanes: 0,
+            analyze_threads: 0,
             fallback: crate::resilience::FallbackChain::none(),
             retry: crate::resilience::RetryPolicy::default(),
             deadline: crate::resilience::Deadline::none(),

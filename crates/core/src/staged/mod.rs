@@ -42,9 +42,11 @@
 
 pub mod lanes;
 
+use std::time::Instant;
+
 use rlchol_ordering::order;
 use rlchol_sparse::{Permutation, SymCsc};
-use rlchol_symbolic::{analyze, SymbolicFactor};
+use rlchol_symbolic::{analyze_instrumented, SymbolicFactor};
 
 use crate::engine::Method;
 use crate::error::{FactorError, SolveError};
@@ -147,6 +149,143 @@ fn resolve_solve_threads(option: usize) -> (usize, bool) {
     }
 }
 
+/// Resolves the analyze lane count, same precedence as the solve lanes:
+/// an explicit [`SolverOptions::analyze_threads`] wins, else
+/// `RLCHOL_ANALYZE_THREADS`, else the pool default. `forced` marks the
+/// first two sources, which bypass the small-system serial cutoff.
+fn resolve_analyze_threads(option: usize) -> (usize, bool) {
+    if option > 0 {
+        return (option, true);
+    }
+    match crate::engine::env_positive("RLCHOL_ANALYZE_THREADS") {
+        Some(t) => (t, true),
+        None => (rlchol_dense::pool::default_threads(), false),
+    }
+}
+
+/// Below these sizes an automatically-sized analysis stays serial: the
+/// pool dispatch and per-thread scratch cost more than the stages save.
+/// A forced lane count (explicit option or environment) skips the
+/// cutoff, which is what the bit-identity tests rely on.
+const ANALYZE_PAR_MIN_N: usize = 1024;
+const ANALYZE_PAR_MIN_NNZ: usize = 16_384;
+
+/// Wall-clock breakdown of one symbolic analysis, stage by stage — the
+/// instrumentation behind `rlchol analyze` and the service's cache-miss
+/// metrics. All stages sum to (just under) the analyze wall: `etree`
+/// through `relind` come from [`rlchol_symbolic::analyze_instrumented`];
+/// `solve_plan` and `value_map` are the handle-construction stages added
+/// on top of the symbolic factor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzeBreakdown {
+    /// Elimination tree + postorder + permutation (serial, fused).
+    pub etree: std::time::Duration,
+    /// Column counts via row-subtree traversal.
+    pub colcount: std::time::Duration,
+    /// Supernode detection, amalgamation, partition refinement.
+    pub merge: std::time::Duration,
+    /// Per-supernode row structures and relative-index blocks.
+    pub relind: std::time::Duration,
+    /// Level sets + gather segments for the tree-parallel sweeps.
+    pub solve_plan: std::time::Duration,
+    /// The input → factor-order value scatter map.
+    pub value_map: std::time::Duration,
+    /// The lane count the analysis actually ran with (after the
+    /// automatic cutoff).
+    pub threads: usize,
+}
+
+impl AnalyzeBreakdown {
+    /// Sum of all instrumented stages.
+    pub fn total(&self) -> std::time::Duration {
+        self.etree + self.colcount + self.merge + self.relind + self.solve_plan + self.value_map
+    }
+}
+
+/// Precomputes where each input value lands in factor order: entry
+/// `(i, j)` of the input lower triangle becomes `(pi, pj)` sorted so the
+/// larger index is the row — exactly what `permute` does.
+///
+/// With `threads > 1` the destination of every input entry is computed
+/// first, into disjoint per-column-chunk slices on the pool, and the
+/// map is then scattered serially. The map is a bijection (each factor
+/// position receives exactly one input position), so the scatter's
+/// result is independent of the chunking and identical to the serial
+/// loop.
+fn build_value_map(
+    a: &SymCsc,
+    a_fact: &SymCsc,
+    total_perm: &Permutation,
+    threads: usize,
+) -> Vec<usize> {
+    let n = a.n();
+    let colptr = a.colptr();
+    let nnz = a.nnz_lower();
+    let mut value_map = vec![0usize; nnz];
+    // Destination of input entry (i, j): the factor-order position of
+    // the permuted entry.
+    let dst_of = |j: usize, i: usize| -> usize {
+        let pj = total_perm.new_of(j);
+        let pi = total_perm.new_of(i);
+        let (r, c) = if pi >= pj { (pi, pj) } else { (pj, pi) };
+        let pos = a_fact
+            .col_rows(c)
+            .binary_search(&r)
+            .expect("permuted entry exists in permuted pattern");
+        a_fact.colptr()[c] + pos
+    };
+    if threads <= 1 || n < 2 * threads {
+        for j in 0..n {
+            for (off, &i) in a.col_rows(j).iter().enumerate() {
+                value_map[dst_of(j, i)] = colptr[j] + off;
+            }
+        }
+        return value_map;
+    }
+    // Phase 1 (parallel): per-entry destinations into `dst`, chunked at
+    // nnz-balanced column boundaries so each task owns a disjoint slice.
+    let mut dst = vec![0usize; nnz];
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0usize);
+    for t in 1..threads {
+        let target = colptr[n] * t / threads;
+        let cut = colptr.partition_point(|&p| p < target).min(n);
+        bounds.push((*bounds.last().unwrap()).max(cut));
+    }
+    bounds.push(n);
+    {
+        let dst_of = &dst_of;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+        let mut rest = dst.as_mut_slice();
+        let mut consumed = 0usize;
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if lo == hi {
+                continue;
+            }
+            let take = colptr[hi] - consumed;
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = consumed;
+            consumed = colptr[hi];
+            tasks.push(Box::new(move || {
+                for j in lo..hi {
+                    for (off, &i) in a.col_rows(j).iter().enumerate() {
+                        mine[colptr[j] + off - base] = dst_of(j, i);
+                    }
+                }
+            }));
+        }
+        rlchol_dense::pool::global().run(tasks);
+    }
+    // Phase 2 (serial): scatter. Exactly the serial loop's writes, in a
+    // different order over a bijection — same map.
+    for (k, &d) in dst.iter().enumerate() {
+        value_map[d] = k;
+    }
+    value_map
+}
+
 /// The analyzed half of the pipeline: composed permutation, symbolic
 /// factor, resolved numeric engine, and the resources reused across
 /// repeated factorizations. Produced by [`CholeskySolver::analyze`]
@@ -196,6 +335,9 @@ pub struct SymbolicCholesky {
     /// Handle-wide cancellation flag; armed into every factorization's
     /// [`RunCtl`] and checked by `batch_factor` before starting a slot.
     cancel: CancelToken,
+    /// Stage-by-stage wall breakdown of the analysis that built this
+    /// handle (see [`AnalyzeBreakdown`]).
+    analyze_stages: AnalyzeBreakdown,
 }
 
 impl SymbolicCholesky {
@@ -208,29 +350,36 @@ impl SymbolicCholesky {
     /// `RLCHOL_STREAMS` environment variables (read at use), which in
     /// turn default to the machine's parallelism / the runtime default.
     pub fn new(a: &SymCsc, opts: &SolverOptions) -> Self {
+        // Analyze lane count: explicit option / environment force it;
+        // an automatic count stays serial below the cutoff, where the
+        // pool dispatch costs more than the stages save.
+        let (analyze_opt, analyze_forced) = resolve_analyze_threads(opts.analyze_threads);
+        let analyze_lanes =
+            if analyze_forced || a.n() >= ANALYZE_PAR_MIN_N || a.nnz_lower() >= ANALYZE_PAR_MIN_NNZ
+            {
+                analyze_opt.max(1)
+            } else {
+                1
+            };
+
         let fill = order(a, opts.ordering);
         let a_fill = a.permute(&fill);
-        let sym = analyze(&a_fill, &opts.symbolic);
+        let (sym, sym_stages) = analyze_instrumented(&a_fill, &opts.symbolic, analyze_lanes);
         let total_perm = sym.perm.compose(&fill);
         let a_fact = a_fill.permute(&sym.perm);
 
-        // Precompute where each input value lands in factor order. Entry
-        // (i, j) of the input lower triangle becomes (pi, pj) sorted so
-        // the larger index is the row — exactly what `permute` does.
-        let mut value_map = vec![0usize; a.nnz_lower()];
-        let colptr = a.colptr();
-        for j in 0..a.n() {
-            let pj = total_perm.new_of(j);
-            for (off, &i) in a.col_rows(j).iter().enumerate() {
-                let pi = total_perm.new_of(i);
-                let (r, c) = if pi >= pj { (pi, pj) } else { (pj, pi) };
-                let pos = a_fact
-                    .col_rows(c)
-                    .binary_search(&r)
-                    .expect("permuted entry exists in permuted pattern");
-                value_map[a_fact.colptr()[c] + pos] = colptr[j] + off;
-            }
-        }
+        let mut analyze_stages = AnalyzeBreakdown {
+            etree: sym_stages.etree,
+            colcount: sym_stages.colcount,
+            merge: sym_stages.merge,
+            relind: sym_stages.relind,
+            threads: analyze_lanes,
+            ..AnalyzeBreakdown::default()
+        };
+
+        let t = Instant::now();
+        let value_map = build_value_map(a, &a_fact, &total_perm, analyze_lanes);
+        analyze_stages.value_map = t.elapsed();
 
         let engine = engine_for(opts.method);
         // Fault plans flow down: an explicit GpuOptions plan wins, else
@@ -249,7 +398,9 @@ impl SymbolicCholesky {
             .iter()
             .map(|&m| (m, engine_for(m)))
             .collect();
-        let plan = SolvePlan::build(&sym);
+        let t = Instant::now();
+        let plan = SolvePlan::build_par(&sym, analyze_lanes);
+        analyze_stages.solve_plan = t.elapsed();
         let (solve_lanes, solve_forced) = resolve_solve_threads(opts.solve_threads);
         SymbolicCholesky {
             sym,
@@ -268,12 +419,34 @@ impl SymbolicCholesky {
             retry: opts.retry,
             deadline: opts.deadline,
             cancel: CancelToken::new(),
+            analyze_stages,
         }
     }
 
     /// The symbolic factor (structure, counts, supernodes).
     pub fn symbolic(&self) -> &SymbolicFactor {
         &self.sym
+    }
+
+    /// Stage-by-stage wall breakdown of the analysis that built this
+    /// handle, including the lane count it actually ran with.
+    pub fn analyze_breakdown(&self) -> AnalyzeBreakdown {
+        self.analyze_stages
+    }
+
+    /// True when `other` encodes the identical analysis: symbolic
+    /// factor, composed permutation, solve plan, value map and analyzed
+    /// pattern all compare equal. Engine resources, lane counts and
+    /// stage timings are ignored — this is the handle-level statement of
+    /// "the analysis is bit-identical", which the parallel-analyze tests
+    /// assert across thread counts.
+    pub fn analysis_eq(&self, other: &SymbolicCholesky) -> bool {
+        self.sym == other.sym
+            && self.total_perm == other.total_perm
+            && self.plan == other.plan
+            && self.value_map == other.value_map
+            && self.pattern_colptr == other.pattern_colptr
+            && self.pattern_rowind == other.pattern_rowind
     }
 
     /// The composed permutation from the input ordering to factor order.

@@ -51,7 +51,7 @@ pub use flops::{flops_gemm, flops_potrf, flops_syrk, flops_trsm};
 pub use gemm::{gemm_nn, gemm_nt};
 pub use mat::DMat;
 pub use par::{par_gemm_nn, par_gemm_nt, par_syrk_ln, par_trsm_rlt};
-pub use potrf::{potrf, PotrfError};
+pub use potrf::{par_potrf, potrf, PotrfError};
 pub use syrk::syrk_ln;
 pub use trsm::{trsm_lln, trsm_llt, trsm_rlt, trsv_ln, trsv_lt};
 

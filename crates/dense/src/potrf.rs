@@ -5,6 +5,8 @@
 //! rank-k update to the trailing matrix — the same structure the sparse
 //! supernodal algorithms replay at the supernode level.
 
+use crate::gemm::gemm_nt;
+use crate::pool;
 use crate::syrk::syrk_ln;
 use crate::trsm::trsm_rlt;
 use crate::NB;
@@ -32,15 +34,95 @@ impl std::error::Error for PotrfError {}
 /// dimension `lda`) in place as `A = L Lᵀ`, leaving `L` in the lower
 /// triangle. The strict upper triangle is neither read nor written.
 pub fn potrf(n: usize, a: &mut [f64], lda: usize) -> Result<(), PotrfError> {
-    debug_assert!(lda >= n.max(1));
-    // Scratch copy of the diagonal block so the panel TRSM can borrow the
-    // column span mutably (L11 and A21 share columns in column-major
-    // storage and cannot be split into disjoint slices). The block size
-    // is a compile-time constant, so one lazily grown thread-local
-    // buffer serves every POTRF this thread ever runs — the supernodal
-    // engines call this once per supernode and must not allocate each
-    // time. `potrf` never re-enters itself (the panel TRSM is a plain
-    // kernel), so the `RefCell` borrow is never contended.
+    with_l11_scratch(|l11| potrf_with(n, a, lda, l11, 1))
+}
+
+/// Pool-parallel [`potrf`]: the same fixed-`NB` right-looking loop, with
+/// the trailing SYRK update — the O(n³) term — distributed over the
+/// persistent pool. The distribution stripes at the serial kernel's own
+/// `NB` column-block boundaries, so each output entry is produced by
+/// exactly the per-block calls the serial sweep would issue and the
+/// factor is **bit-identical** to [`potrf`] at any `threads`; selection
+/// only affects wall clock. The diagonal-block factor and the panel
+/// TRSM (whose width is at most `NB`) stay serial — they are the
+/// O(n·NB²) fringe. `threads <= 1` or `n <= NB` takes the serial path
+/// unchanged.
+pub fn par_potrf(threads: usize, n: usize, a: &mut [f64], lda: usize) -> Result<(), PotrfError> {
+    if threads <= 1 || n <= NB {
+        return potrf(n, a, lda);
+    }
+    with_l11_scratch(|l11| potrf_with(n, a, lda, l11, threads))
+}
+
+/// Trailing update `C -= A Aᵀ` (lower triangle) striped at the serial
+/// [`syrk_ln`] kernel's fixed `NB` column-block boundaries. Each task
+/// replays the identical two calls the serial sweep makes for its block
+/// — the diagonal triangle, then the rectangle below via [`gemm_nt`] —
+/// on slices holding the same elements, so the result is bit-for-bit
+/// the serial one regardless of execution order (the blocks write
+/// disjoint column ranges).
+fn par_syrk_update(
+    threads: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let nblocks = n.div_ceil(NB.max(1));
+    if threads <= 1 || nblocks < 2 {
+        syrk_ln(n, k, -1.0, a, lda, 1.0, c, ldc);
+        return;
+    }
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nblocks);
+    let mut rest = c;
+    let mut consumed = 0usize;
+    for b in 0..nblocks {
+        let j0 = b * NB;
+        let jb = NB.min(n - j0);
+        let take = ((j0 - consumed + jb) * ldc).min(rest.len());
+        let (mine, tail) = rest.split_at_mut(take);
+        let my_c = &mut mine[(j0 - consumed) * ldc..];
+        rest = tail;
+        consumed = j0 + jb;
+        tasks.push(Box::new(move || {
+            // `my_c` starts at column j0 of C; rows keep global indices.
+            // Diagonal jb x jb triangle at (j0, j0) — a single-block
+            // syrk_ln call over the same shifted operands.
+            syrk_ln(jb, k, -1.0, &a[j0..], lda, 1.0, &mut my_c[j0..], ldc);
+            // Rectangle below: rows j0+jb..n of columns [j0, j0+jb).
+            let below = n - j0 - jb;
+            if below > 0 {
+                gemm_nt(
+                    below,
+                    jb,
+                    k,
+                    -1.0,
+                    &a[j0 + jb..],
+                    lda,
+                    &a[j0..],
+                    lda,
+                    1.0,
+                    &mut my_c[j0 + jb..],
+                    ldc,
+                );
+            }
+        }));
+    }
+    pool::global().run(tasks);
+}
+
+/// Scratch copy of the diagonal block so the panel TRSM can borrow the
+/// column span mutably (L11 and A21 share columns in column-major
+/// storage and cannot be split into disjoint slices). The block size is
+/// a compile-time constant, so one lazily grown thread-local buffer
+/// serves every POTRF this thread ever runs — the supernodal engines
+/// call this once per supernode and must not allocate each time. The
+/// factorization never re-enters itself (the panel TRSM is a plain
+/// kernel and pool stripes run in their own threads), so the `RefCell`
+/// borrow is never contended.
+fn with_l11_scratch<R>(f: impl FnOnce(&mut [f64]) -> R) -> R {
     std::thread_local! {
         static L11: std::cell::RefCell<Vec<f64>> =
             const { std::cell::RefCell::new(Vec::new()) };
@@ -48,13 +130,21 @@ pub fn potrf(n: usize, a: &mut [f64], lda: usize) -> Result<(), PotrfError> {
     L11.with(|cell| {
         let mut l11 = cell.borrow_mut();
         l11.resize(NB * NB, 0.0);
-        potrf_with(n, a, lda, &mut l11)
+        f(&mut l11)
     })
 }
 
 /// [`potrf`] against caller-provided diagonal-block scratch (grown to
-/// `NB * NB` by the wrapper above).
-fn potrf_with(n: usize, a: &mut [f64], lda: usize, l11: &mut [f64]) -> Result<(), PotrfError> {
+/// `NB * NB` by the wrapper above), with the panel/trailing kernels
+/// striped over `threads` pool lanes when `threads > 1`.
+fn potrf_with(
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    l11: &mut [f64],
+    threads: usize,
+) -> Result<(), PotrfError> {
+    debug_assert!(lda >= n.max(1));
     let mut k = 0;
     while k < n {
         let kb = NB.min(n - k);
@@ -72,6 +162,8 @@ fn potrf_with(n: usize, a: &mut [f64], lda: usize, l11: &mut [f64]) -> Result<()
                 }
             }
             {
+                // The panel is at most NB columns wide, so the TRSM is
+                // the same serial kernel on every lane count.
                 let a21 = &mut a[k * lda + k + kb..];
                 trsm_rlt(below, kb, &l11[..kb * kb], kb, a21, lda);
             }
@@ -80,7 +172,7 @@ fn potrf_with(n: usize, a: &mut [f64], lda: usize, l11: &mut [f64]) -> Result<()
             let (panel_cols, trailing_cols) = a.split_at_mut((k + kb) * lda);
             let a21 = &panel_cols[k * lda + k + kb..];
             let a22 = &mut trailing_cols[k + kb..];
-            syrk_ln(below, kb, -1.0, a21, lda, 1.0, a22, lda);
+            par_syrk_update(threads, below, kb, a21, lda, a22, lda);
         }
         k += kb;
     }
@@ -192,6 +284,39 @@ mod tests {
         // Zero matrix: fails at pivot 0.
         let mut z = DMat::zeros(3, 3);
         assert_eq!(potrf(3, z.as_mut_slice(), 3).unwrap_err().pivot, 0);
+    }
+
+    #[test]
+    fn par_potrf_is_bit_identical_to_serial() {
+        // Sizes straddling NB (64) and 2*NB (128): the serial fallback,
+        // single-block, and multi-block parallel paths all land here.
+        for n in [1usize, 31, 64, 65, 100, 129, 200, 300] {
+            let a = random_spd(n, n as u64 + 900);
+            let mut serial = a.clone();
+            potrf(n, serial.as_mut_slice(), n).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let mut par = a.clone();
+                par_potrf(threads, n, par.as_mut_slice(), n).unwrap();
+                assert_eq!(
+                    par.as_slice(),
+                    serial.as_slice(),
+                    "n={n} threads={threads}: parallel POTRF diverged bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_potrf_reports_same_bad_pivot() {
+        // Indefinite trailing block: both paths must fail at the same pivot.
+        let n = 130;
+        let mut a = random_spd(n, 7);
+        a[(n - 1, n - 1)] = -1e6;
+        let mut serial = a.clone();
+        let se = potrf(n, serial.as_mut_slice(), n).unwrap_err();
+        let mut par = a.clone();
+        let pe = par_potrf(4, n, par.as_mut_slice(), n).unwrap_err();
+        assert_eq!(se, pe);
     }
 
     #[test]

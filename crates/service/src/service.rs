@@ -149,6 +149,12 @@ pub struct RequestMetrics {
     pub solve_wall: Duration,
     /// Recovery events (retries/fallbacks) the engine logged.
     pub recovery_events: usize,
+    /// Per-stage breakdown of the analysis this request ran itself
+    /// (`None` on hits and coalesced misses — those paid no analysis).
+    /// Same schema as the CLI's `analyze` report, so a service operator
+    /// can see *which* symbolic stage a cache-miss spike is spending its
+    /// wall in and whether `RLCHOL_ANALYZE_THREADS` is taking effect.
+    pub analyze_stages: Option<rlchol_core::AnalyzeBreakdown>,
 }
 
 /// The answer to one request.
@@ -393,6 +399,10 @@ impl Service {
             factor_wall: Duration::ZERO,
             solve_wall: Duration::ZERO,
             recovery_events: 0,
+            // Only the request that actually ran the analysis reports
+            // the stage breakdown; hits and coalesced misses paid
+            // nothing and claim nothing.
+            analyze_stages: (analyze_wall > Duration::ZERO).then(|| handle.analyze_breakdown()),
         };
 
         let payload = match req.op {

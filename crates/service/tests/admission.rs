@@ -137,6 +137,29 @@ fn expired_deadline_sheds_before_work_and_counts() {
 }
 
 #[test]
+fn cache_miss_reports_the_analyze_stage_breakdown() {
+    let service = Service::new(config(4, 1));
+    let a = grid3d(6, 6, 4, Stencil::Star7, 1, 11);
+    // The miss ran the analysis itself, so it carries the breakdown.
+    let miss = service.submit(Request::analyze(a.clone())).unwrap();
+    let stages = miss
+        .metrics
+        .analyze_stages
+        .expect("cache miss must report analyze stages");
+    assert!(stages.threads >= 1);
+    assert!(
+        stages.total() <= miss.metrics.analyze_wall,
+        "stage sum {:?} cannot exceed the analyze wall {:?}",
+        stages.total(),
+        miss.metrics.analyze_wall
+    );
+    // A hit paid no analysis and claims none.
+    let hit = service.submit(Request::analyze(a)).unwrap();
+    assert!(hit.metrics.analyze_stages.is_none());
+    assert_eq!(hit.metrics.analyze_wall, Duration::ZERO);
+}
+
+#[test]
 fn shutdown_rejects_new_requests() {
     let service = Service::new(config(4, 1));
     let a = grid3d(3, 3, 2, Stencil::Star7, 1, 3);

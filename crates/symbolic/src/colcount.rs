@@ -35,6 +35,76 @@ pub fn col_counts(a: &SymCsc, etree: &EliminationTree) -> Vec<usize> {
     counts
 }
 
+/// Thread-parallel [`col_counts`]: rows are split into `threads`
+/// contiguous, nnz-balanced ranges, each walked with a **private**
+/// `counts`/`mark` pair on [`rlchol_dense::pool`], and the per-thread
+/// counts are summed.
+///
+/// Bit-identical to the serial pass by construction: each row's subtree
+/// walk is independent of every other row's (the serial `mark` state
+/// only ever terminates a walk at vertices marked *by the same row*),
+/// and the merge sums exact `usize` increments, which commute. A
+/// `threads <= 1` call takes the serial path unchanged.
+pub fn col_counts_par(a: &SymCsc, etree: &EliminationTree, threads: usize) -> Vec<usize> {
+    let n = a.n();
+    if threads <= 1 || n < 2 * threads {
+        return col_counts(a, etree);
+    }
+    let parent = &etree.parent;
+    let (rowptr, colind) = strict_lower_rows(a);
+    // Contiguous row ranges with roughly equal strict-lower nnz.
+    let total = rowptr[n];
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0usize);
+    for t in 1..threads {
+        let target = total * t / threads;
+        let cut = rowptr.partition_point(|&p| p < target).min(n);
+        bounds.push((*bounds.last().unwrap()).max(cut));
+    }
+    bounds.push(n);
+
+    let mut partials: Vec<Vec<usize>> = Vec::with_capacity(threads);
+    partials.resize_with(threads, Vec::new);
+    {
+        let rowptr = &rowptr;
+        let colind = &colind;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = partials
+            .iter_mut()
+            .enumerate()
+            .map(|(t, slot)| {
+                let (lo, hi) = (bounds[t], bounds[t + 1]);
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let mut counts = vec![0usize; n];
+                    let mut mark = vec![usize::MAX; n];
+                    for i in lo..hi {
+                        mark[i] = i;
+                        for &k in &colind[rowptr[i]..rowptr[i + 1]] {
+                            let mut j = k;
+                            while mark[j] != i {
+                                counts[j] += 1;
+                                mark[j] = i;
+                                j = parent[j];
+                                debug_assert!(j != crate::NONE, "path must reach row {i}");
+                            }
+                        }
+                    }
+                    *slot = counts;
+                });
+                task
+            })
+            .collect();
+        rlchol_dense::pool::global().run(tasks);
+    }
+
+    let mut counts = vec![1usize; n]; // diagonal entries
+    for partial in &partials {
+        for (c, &p) in counts.iter_mut().zip(partial) {
+            *c += p;
+        }
+    }
+    counts
+}
+
 /// Total factor nonzeros implied by the counts (lower triangle incl.
 /// diagonal).
 pub fn factor_nnz(counts: &[usize]) -> u64 {
@@ -149,6 +219,35 @@ mod tests {
             let a = sym_from_edges(n, &edges);
             let t = EliminationTree::from_matrix(&a);
             assert_eq!(col_counts(&a, &t), col_counts_reference(&a, &t), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_counts_match_serial_exactly() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in [1usize, 2, 7, 30, 120] {
+            let mut edges = Vec::new();
+            for i in 1..n {
+                let j = rng.random_range(0..i);
+                edges.push((i, j));
+                for _ in 0..3 {
+                    let a = rng.random_range(0..n);
+                    let b = rng.random_range(0..n);
+                    if a != b {
+                        edges.push((a.max(b), a.min(b)));
+                    }
+                }
+            }
+            let a = sym_from_edges(n, &edges);
+            let t = EliminationTree::from_matrix(&a);
+            let serial = col_counts(&a, &t);
+            for threads in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    col_counts_par(&a, &t, threads),
+                    serial,
+                    "n={n} threads={threads}"
+                );
+            }
         }
     }
 

@@ -32,7 +32,9 @@ pub mod relind;
 pub mod supernodes;
 
 pub use etree::EliminationTree;
-pub use factor::{analyze, SymbolicFactor, SymbolicOptions};
+pub use factor::{
+    analyze, analyze_instrumented, analyze_par, AnalyzeStages, SymbolicFactor, SymbolicOptions,
+};
 pub use supernodes::SupernodePartition;
 
 /// Sentinel for "no parent" in tree arrays.

@@ -1,7 +1,7 @@
 //! `rlchol` — command-line driver for the factorization pipeline.
 //!
 //! ```text
-//! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural]
+//! rlchol analyze <matrix.mtx> [--ordering nd|md|rcm|natural] [--analyze-threads N] [--json]
 //! rlchol factor  <matrix.mtx> [--method <engine>] [--ordering ...] [--json]
 //! rlchol solve   <matrix.mtx> [--method ...] [--json]  # b = A·1, reports errors
 //! rlchol spy     <matrix.mtx> [--size N]       # ASCII sparsity plot
@@ -10,9 +10,13 @@
 //!
 //! `--method` accepts every registered engine; the list in `--help`
 //! output is generated from [`Method::ALL`], so a newly registered
-//! engine shows up here with no CLI change. `--json` switches `factor`
-//! and `solve` to a single machine-readable JSON report on stdout
-//! (same schema as the service protocol's response frames).
+//! engine shows up here with no CLI change. `--json` switches `analyze`,
+//! `factor` and `solve` to a single machine-readable JSON report on
+//! stdout (same schema as the service protocol's response frames).
+//! `analyze` prints the per-stage wall breakdown (etree / colcount /
+//! merge / relind / solve-plan / value-map); `--analyze-threads` forces
+//! the symbolic pipeline's lane count (the result is bit-identical at
+//! any value — only the wall changes).
 //!
 //! Matrices are Matrix Market files (`coordinate real|pattern`,
 //! `symmetric` or `general` holding a symmetric matrix). `serve` takes
@@ -46,7 +50,7 @@ fn usage() -> ! {
         "usage: rlchol <analyze|factor|solve|spy> <matrix.mtx> \
          [--method {}] \
          [--ordering nd|md|rcm|natural] [--solve-threads N] \
-         [--factor-lanes N] [--size N] [--gpu-threshold N] \
+         [--factor-lanes N] [--analyze-threads N] [--size N] [--gpu-threshold N] \
          [--retire inorder|ooo] [--lookahead N] \
          [--faults SPEC[,SPEC...]] [--fallback auto|m1>m2>...] \
          [--deadline-ms N] [--json]\n\
@@ -64,6 +68,7 @@ struct Args {
     size: usize,
     solve_threads: usize,
     factor_lanes: usize,
+    analyze_threads: usize,
     gpu_threshold: Option<usize>,
     retire: Option<RetireMode>,
     lookahead: Option<usize>,
@@ -82,6 +87,7 @@ fn parse_args() -> Args {
     let mut size = 40usize;
     let mut solve_threads = 0usize;
     let mut factor_lanes = 0usize;
+    let mut analyze_threads = 0usize;
     let mut gpu_threshold = None;
     let mut retire = None;
     let mut lookahead = None;
@@ -115,6 +121,7 @@ fn parse_args() -> Args {
             "--size" => size = value.parse().unwrap_or_else(|_| usage()),
             "--solve-threads" => solve_threads = value.parse().unwrap_or_else(|_| usage()),
             "--factor-lanes" => factor_lanes = value.parse().unwrap_or_else(|_| usage()),
+            "--analyze-threads" => analyze_threads = value.parse().unwrap_or_else(|_| usage()),
             // Supernode-size offload cutoff; 0 sends everything to the
             // (simulated) device — handy with --faults.
             "--gpu-threshold" => gpu_threshold = Some(value.parse().unwrap_or_else(|_| usage())),
@@ -159,6 +166,7 @@ fn parse_args() -> Args {
         size,
         solve_threads,
         factor_lanes,
+        analyze_threads,
         gpu_threshold,
         retire,
         lookahead,
@@ -195,6 +203,7 @@ fn solver_options(args: &Args) -> SolverOptions {
         },
         solve_threads: args.solve_threads,
         factor_lanes: args.factor_lanes,
+        analyze_threads: args.analyze_threads,
         faults: args.faults.clone(),
         fallback: args.fallback.clone().unwrap_or_default(),
         deadline: match args.deadline_ms {
@@ -235,7 +244,27 @@ fn main() {
             // The staged API: symbolic analysis only, no numeric factor.
             let t0 = std::time::Instant::now();
             let handle = CholeskySolver::analyze(&a, &solver_options(&args));
+            let wall = t0.elapsed();
             let sym = handle.symbolic();
+            let stages = handle.analyze_breakdown();
+            if args.json {
+                let obj = JsonObj::new()
+                    .str("op", "analyze")
+                    .u64("n", a.n() as u64)
+                    .u64("nnz_lower", a.nnz_lower() as u64)
+                    .u64("supernodes", sym.nsup() as u64)
+                    .u64("factor_nnz", sym.nnz)
+                    .f64("factor_gflop", sym.flops / 1e9)
+                    .u64("memory_bytes", handle.memory_bytes())
+                    .raw(
+                        "stages",
+                        &rlchol::core::json::analyze_breakdown_json(&stages),
+                    )
+                    .f64("wall_ms", wall.as_secs_f64() * 1e3)
+                    .finish();
+                println!("{obj}");
+                return;
+            }
             println!("ordering: {:?}", args.ordering);
             println!("supernodes: {}", sym.nsup());
             println!("nnz(L): {}", sym.nnz);
@@ -261,10 +290,20 @@ fn main() {
                 handle.lane_memory_bytes() as f64 / (1 << 20) as f64,
                 handle.factor_lanes()
             );
+            let ms = |d: Duration| d.as_secs_f64() * 1e3;
             println!(
-                "analysis wall time: {:.1} ms",
-                t0.elapsed().as_secs_f64() * 1e3
+                "stage breakdown ({} analyze thread(s)): etree {:.1} ms, \
+                 colcount {:.1} ms, merge {:.1} ms, relind {:.1} ms, \
+                 solve plan {:.1} ms, value map {:.1} ms",
+                stages.threads,
+                ms(stages.etree),
+                ms(stages.colcount),
+                ms(stages.merge),
+                ms(stages.relind),
+                ms(stages.solve_plan),
+                ms(stages.value_map)
             );
+            println!("analysis wall time: {:.1} ms", ms(wall));
         }
         "factor" => {
             let handle = CholeskySolver::analyze(&a, &solver_options(&args));

@@ -252,26 +252,29 @@
 //!
 //! 1. An explicit nonzero [`SolverOptions::threads`] /
 //!    [`SolverOptions::solve_threads`] / [`SolverOptions::factor_lanes`] /
+//!    [`SolverOptions::analyze_threads`] /
 //!    [`GpuOptions::streams`](core::engine::GpuOptions::streams), or an
 //!    explicit [`GpuOptions::retire`](core::engine::GpuOptions::retire) /
 //!    [`GpuOptions::lookahead`](core::engine::GpuOptions::lookahead),
 //!    wins.
 //! 2. A zero (`None` for retire/lookahead) defers to the
 //!    **`RLCHOL_THREADS`** / **`RLCHOL_SOLVE_THREADS`** /
-//!    **`RLCHOL_FACTOR_LANES`** / **`RLCHOL_STREAMS`** /
+//!    **`RLCHOL_FACTOR_LANES`** / **`RLCHOL_ANALYZE_THREADS`** /
+//!    **`RLCHOL_STREAMS`** /
 //!    **`RLCHOL_RETIRE`** / **`RLCHOL_LOOKAHEAD`** environment variable
 //!    (positive integer; `inorder`/`ooo` for retire).
 //! 3. Unset environment falls back to
 //!    [`std::thread::available_parallelism`] (threads, solve lanes,
-//!    factor lanes — solves additionally stay serial below a
-//!    small-system cutoff) / the runtime default of 2 (stream pairs) /
-//!    in-order retirement with an adaptive lookahead window
-//!    (lookahead 0).
+//!    factor lanes, analyze lanes — solves and analyses additionally
+//!    stay serial below a small-system cutoff) / the runtime default of
+//!    2 (stream pairs) / in-order retirement with an adaptive lookahead
+//!    window (lookahead 0).
 //!
 //! One lane / one pair degenerates to the serial / single-stream
-//! schedule, bit-exactly — and the level-set solves and lane-pooled
-//! factorizations are bit-identical to serial at *any* lane count, so
-//! the settings are purely about speed.
+//! schedule, bit-exactly — and the level-set solves, lane-pooled
+//! factorizations and thread-parallel symbolic analyses are
+//! bit-identical to serial at *any* lane count, so the settings are
+//! purely about speed.
 
 pub use rlchol_core as core;
 pub use rlchol_dense as dense;
