@@ -2,7 +2,7 @@
 //! against one `Service`, latency percentiles split by cache hit/miss,
 //! a warm-vs-cold comparison, an overload scenario, and a TCP smoke.
 //!
-//! Four phases, all with fixed seeds:
+//! Five phases, all with fixed seeds:
 //!
 //! * **mixed** — `threads` clients submit Zipf-distributed traffic over
 //!   8 grid patterns (60% factor / 30% solve / 10% batch); reports
@@ -17,6 +17,10 @@
 //! * **tcp** — in-process server on localhost, 2 protocol clients × 20
 //!   mixed requests; asserts zero protocol errors and nonzero cache
 //!   hits, then a clean shutdown.
+//! * **many_conns** (Unix) — 64 concurrent connections against the
+//!   evented front end with a 2-thread fixed worker pool; asserts
+//!   every request on every connection is served and reports
+//!   per-request latency percentiles over the multiplexed loop.
 //!
 //! Writes `BENCH_service.json`. Usage: `service_load [reqs_per_thread]
 //! [out.json]` (default 40; CI uses a smaller count).
@@ -129,6 +133,7 @@ fn service_config(queue_depth: usize, lanes: usize) -> ServiceConfig {
         queue_depth,
         cache_bytes: 1 << 30,
         default_deadline: None,
+        batch_window_us: 0,
     }
 }
 
@@ -359,6 +364,95 @@ fn phase_tcp() -> String {
     )
 }
 
+/// Phase E: 64 concurrent connections multiplexed over a 2-thread
+/// evented worker pool — the thread-per-connection design this replaced
+/// would have needed 64 handler threads.
+#[cfg(unix)]
+fn phase_many_conns() -> String {
+    use rlchol_service::{ClientOptions, NetStats, ServeOptions};
+    use std::time::Duration;
+
+    let conns = 64;
+    let per_conn = 3;
+    let net_workers = 2;
+    let service = Arc::new(Service::new(service_config(16, 2)));
+    let stats = Arc::new(NetStats::default());
+    let opts = ServeOptions {
+        workers: net_workers,
+        stats: Some(Arc::clone(&stats)),
+        ..ServeOptions::default()
+    };
+    let (addr, server) = protocol::spawn_server_with("127.0.0.1:0", Arc::clone(&service), opts)
+        .expect("bind localhost");
+
+    let t0 = Instant::now();
+    let barrier = Arc::new(std::sync::Barrier::new(conns));
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut client = protocol::Client::connect_with(
+                    addr,
+                    ClientOptions {
+                        connect_timeout: Some(Duration::from_secs(30)),
+                        read_timeout: Some(Duration::from_secs(120)),
+                    },
+                )
+                .expect("connect");
+                let mut lat = Vec::new();
+                for i in 0..per_conn {
+                    let a = pattern_matrix(c % 4, 40_000 + (c * per_conn + i) as u64);
+                    let t_req = Instant::now();
+                    let resp = match i % 3 {
+                        0 => client.analyze(&a),
+                        1 => client.factor(&a, None, 0),
+                        _ => {
+                            let b = rhs_for(&a);
+                            client.solve(&a, &b, None, 0)
+                        }
+                    }
+                    .expect("many-conns roundtrip");
+                    assert!(resp.ok(), "request failed in-band: {}", resp.json);
+                    lat.push(t_req.elapsed().as_secs_f64());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    for w in workers {
+        lat.extend(w.join().expect("no connection thread hung or panicked"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let total = conns * per_conn;
+    let accepted = stats.accepted.load(std::sync::atomic::Ordering::Relaxed);
+    let frames = stats.frames.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(accepted >= conns as u64, "all {conns} connections accepted");
+    assert!(frames >= total as u64, "all {total} frames served");
+
+    let mut shut = protocol::Client::connect(addr).expect("connect for shutdown");
+    shut.shutdown().expect("shutdown ack");
+    drop(shut);
+    server.join().expect("server joined").expect("clean exit");
+    println!(
+        "many_conns: {conns} connections x {per_conn} reqs over {net_workers} net workers \
+         in {wall:.2} s ({accepted} accepted, {frames} frames)"
+    );
+    format!(
+        "{{\"connections\": {conns}, \"net_workers\": {net_workers}, \"requests\": {total}, \
+         \"wall_s\": {wall:.4}, \"accepted\": {accepted}, \"frames\": {frames}, \
+         \"latency\": {}}}",
+        pcts_json("all", lat)
+    )
+}
+
+#[cfg(not(unix))]
+fn phase_many_conns() -> String {
+    println!("many_conns: skipped (evented front end is Unix-only)");
+    "{\"skipped\": true}".to_string()
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let reqs_per_thread: usize = args
@@ -375,6 +469,7 @@ fn main() {
     let warm = phase_warm_vs_miss();
     let overload = phase_overload();
     let tcp = phase_tcp();
+    let many_conns = phase_many_conns();
 
     let json = format!(
         concat!(
@@ -386,14 +481,15 @@ fn main() {
             "  \"mixed\": {},\n",
             "  \"warm_vs_miss\": {},\n",
             "  \"overload\": {},\n",
-            "  \"tcp\": {}\n",
+            "  \"tcp\": {},\n",
+            "  \"many_conns\": {}\n",
             "}}\n"
         ),
-        reqs_per_thread, ZIPF_S, throughput, mixed, warm, overload, tcp
+        reqs_per_thread, ZIPF_S, throughput, mixed, warm, overload, tcp, many_conns
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!(
-        "wrote {out_path} (4 phases, {:.1} s total)",
+        "wrote {out_path} (5 phases, {:.1} s total)",
         t0.elapsed().as_secs_f64()
     );
 }

@@ -16,9 +16,18 @@
 //!   `Deadline`/`CancelToken` machinery, and per-request metrics
 //!   ([`service`]).
 //! * [`protocol`] — a framed length-prefixed protocol over
-//!   `std::net::TcpListener` (thread per connection, no external
-//!   crates) plus a blocking [`Client`]; `rlchol-serve` is the
-//!   binary, `rlchol serve` the CLI alias.
+//!   `std::net::TcpListener` plus a blocking [`Client`];
+//!   `rlchol-serve` is the binary, `rlchol serve` the CLI alias.
+//! * [`evented`] (Unix) — the readiness-polled server front end behind
+//!   [`serve`]: non-blocking accept with transient-error backoff, a
+//!   fixed worker pool (`RLCHOL_NET_WORKERS`), incremental frame
+//!   assembly, and per-connection idle deadlines
+//!   (`RLCHOL_CONN_TIMEOUT_MS`).
+//!
+//! Requests whose pattern fingerprints collide within
+//! `RLCHOL_BATCH_WINDOW_US` can additionally coalesce into one batched
+//! numeric factorization — see the "Cross-request batching" notes in
+//! [`service`].
 //!
 //! ## Quick start (in-process)
 //!
@@ -53,14 +62,20 @@
 
 pub mod cache;
 pub mod error;
+#[cfg(unix)]
+pub mod evented;
 pub mod fingerprint;
 pub mod protocol;
 pub mod service;
 
 pub use cache::{CacheOutcome, CacheStats, HandleCache};
 pub use error::ServiceError;
+#[cfg(unix)]
+pub use evented::{serve_evented, NetStats, ServeOptions};
 pub use fingerprint::PatternFingerprint;
-pub use protocol::{serve, spawn_server, Client, WireResponse};
+#[cfg(unix)]
+pub use protocol::spawn_server_with;
+pub use protocol::{serve, serve_blocking, spawn_server, Client, ClientOptions, WireResponse};
 pub use service::{
     stats_json, Request, RequestMetrics, RequestOp, Response, ResponsePayload, Service,
     ServiceConfig, ServiceStats, DEFAULT_CACHE_BYTES,

@@ -1,5 +1,10 @@
 //! Framed wire protocol over `std::net::TcpStream` — no external
-//! crates, thread-per-connection on the server side.
+//! crates. [`serve`] runs the evented front end ([`crate::evented`]):
+//! a readiness-polled accept loop and a fixed worker pool multiplexing
+//! every connection, with per-connection deadlines. The seed's
+//! thread-per-connection loop survives as [`serve_blocking`] (the
+//! non-Unix fallback, or `RLCHOL_NET_LEGACY=1`), hardened against
+//! transient accept errors and handler leaks.
 //!
 //! # Framing
 //!
@@ -38,6 +43,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Hard ceiling on one frame body — rejects absurd lengths before any
 /// allocation happens.
@@ -156,13 +162,13 @@ fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
 // Request decode (server) / encode (client)
 // ---------------------------------------------------------------------
 
-enum WireRequest {
+pub(crate) enum WireRequest {
     Op(Request),
     Stats,
     Shutdown,
 }
 
-fn decode_request(body: &[u8]) -> Result<WireRequest, ServiceError> {
+pub(crate) fn decode_request(body: &[u8]) -> Result<WireRequest, ServiceError> {
     let mut c = Cursor::new(body);
     let op = c.u8()?;
     match op {
@@ -275,7 +281,9 @@ fn response_json(op_name: &str, resp: &Response) -> (String, Vec<f64>) {
         .f64("analyze_ms", m.analyze_wall.as_secs_f64() * 1e3)
         .f64("factor_ms", m.factor_wall.as_secs_f64() * 1e3)
         .f64("solve_ms", m.solve_wall.as_secs_f64() * 1e3)
-        .u64("recovery_events", m.recovery_events as u64);
+        .u64("recovery_events", m.recovery_events as u64)
+        .u64("batch_size", m.batch_size as u64)
+        .f64("coalesce_wait_ms", m.coalesce_wait.as_secs_f64() * 1e3);
     match &resp.payload {
         ResponsePayload::Analyzed {
             n,
@@ -324,7 +332,7 @@ fn response_json(op_name: &str, resp: &Response) -> (String, Vec<f64>) {
     }
 }
 
-fn error_json(e: &ServiceError) -> String {
+pub(crate) fn error_json(e: &ServiceError) -> String {
     JsonObj::new()
         .bool("ok", false)
         .str("kind", e.kind())
@@ -332,7 +340,7 @@ fn error_json(e: &ServiceError) -> String {
         .finish()
 }
 
-fn encode_response(json: &str, payload: &[f64]) -> Vec<u8> {
+pub(crate) fn encode_response(json: &str, payload: &[f64]) -> Vec<u8> {
     let mut body = Vec::with_capacity(4 + json.len() + 8 + payload.len() * 8);
     put_u32(&mut body, json.len() as u32);
     body.extend_from_slice(json.as_bytes());
@@ -421,7 +429,7 @@ impl WireResponse {
 // Server
 // ---------------------------------------------------------------------
 
-fn handle_request(service: &Service, wire: WireRequest) -> (String, Vec<f64>) {
+pub(crate) fn handle_request(service: &Service, wire: WireRequest) -> (String, Vec<f64>) {
     match wire {
         WireRequest::Stats => (
             {
@@ -478,17 +486,83 @@ fn handle_conn(mut stream: TcpStream, service: &Service) -> io::Result<()> {
     Ok(())
 }
 
-/// Accept loop: one handler thread per connection, until
-/// [`Service::shutdown`] (a `shutdown` op wakes the accept call by
-/// self-connecting).
+/// Whether an accept error is transient — the listener itself is fine
+/// and a retry will make progress once in-flight connections settle.
+pub(crate) fn accept_error_is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    ) || {
+        // EMFILE/ENFILE/ENOBUFS/ENOMEM have no stable ErrorKind mapping;
+        // match the raw errno values (resource exhaustion clears up when
+        // connections close).
+        matches!(e.raw_os_error(), Some(23 | 24 | 105 | 12))
+    }
+}
+
+/// Serves `listener` until [`Service::shutdown`].
+///
+/// On Unix this runs the evented front end ([`crate::evented::serve_evented`]
+/// with default [`crate::evented::ServeOptions`]): non-blocking accept, a
+/// fixed worker pool (`RLCHOL_NET_WORKERS`), per-connection idle deadlines
+/// (`RLCHOL_CONN_TIMEOUT_MS`). Set `RLCHOL_NET_LEGACY=1` to fall back to
+/// the thread-per-connection loop ([`serve_blocking`]), which is also the
+/// non-Unix default.
 pub fn serve(listener: TcpListener, service: Arc<Service>) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let legacy = std::env::var("RLCHOL_NET_LEGACY")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if !legacy {
+            return crate::evented::serve_evented(
+                listener,
+                service,
+                crate::evented::ServeOptions::default(),
+            );
+        }
+    }
+    serve_blocking(listener, service)
+}
+
+/// Thread-per-connection accept loop, until [`Service::shutdown`] (a
+/// `shutdown` op wakes the accept call by self-connecting). Transient
+/// accept errors (aborted handshakes, fd exhaustion) are retried with
+/// exponential backoff instead of killing the server; finished handler
+/// threads are reaped each iteration so a long-lived server does not
+/// accumulate one [`JoinHandle`] per connection it ever served.
+pub fn serve_blocking(listener: TcpListener, service: Arc<Service>) -> io::Result<()> {
     let addr = listener.local_addr()?;
-    let mut handlers = Vec::new();
-    for conn in listener.incoming() {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = Duration::from_millis(1);
+    let mut accept_errors: u64 = 0;
+    loop {
         if service.is_shutdown() {
             break;
         }
-        let stream = conn?;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
+                stream
+            }
+            Err(e) if accept_error_is_transient(&e) => {
+                accept_errors += 1;
+                if accept_errors.is_power_of_two() {
+                    eprintln!("rlchol-serve: transient accept error (#{accept_errors}): {e}");
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if service.is_shutdown() {
+            break;
+        }
         let svc = Arc::clone(&service);
         handlers.push(std::thread::spawn(move || {
             let _ = handle_conn(stream, &svc);
@@ -497,6 +571,7 @@ pub fn serve(listener: TcpListener, service: Arc<Service>) -> io::Result<()> {
                 let _ = TcpStream::connect(addr);
             }
         }));
+        handlers.retain(|h| !h.is_finished());
     }
     for h in handlers {
         let _ = h.join();
@@ -516,9 +591,36 @@ pub fn spawn_server(
     Ok((local, handle))
 }
 
+/// Like [`spawn_server`], but always evented and with explicit
+/// [`crate::evented::ServeOptions`] (worker count, connection timeout,
+/// fault injection, shared [`crate::evented::NetStats`]).
+#[cfg(unix)]
+pub fn spawn_server_with(
+    addr: &str,
+    service: Arc<Service>,
+    opts: crate::evented::ServeOptions,
+) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || crate::evented::serve_evented(listener, service, opts));
+    Ok((local, handle))
+}
+
 // ---------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------
+
+/// Connection knobs for [`Client::connect_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientOptions {
+    /// Abort [`Client::connect_with`] if the TCP handshake takes longer
+    /// than this. `None` blocks indefinitely (OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Fail any read (response wait) that stalls longer than this with
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] instead
+    /// of hanging on a wedged server. `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+}
 
 /// Blocking client for the framed protocol. One request in flight per
 /// client; clone connections for concurrency.
@@ -527,11 +629,24 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with no timeouts (blocking reads).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit connect/read timeouts.
+    pub fn connect_with(addr: SocketAddr, opts: ClientOptions) -> io::Result<Self> {
+        let stream = match opts.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(opts.read_timeout)?;
+        Ok(Client { stream })
+    }
+
+    /// Changes the read timeout on the live connection.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     fn roundtrip(&mut self, body: &[u8]) -> io::Result<WireResponse> {

@@ -1,0 +1,269 @@
+//! Evented front-end integration tests: partial-frame (slow-loris)
+//! clients time out without wedging the pool, a burst of short-lived
+//! connections all get served by a small fixed worker pool, injected
+//! transient accept errors are survived, and solves coalesced by the
+//! cross-request batching window stay bitwise-identical to the direct
+//! staged-API path.
+#![cfg(unix)]
+
+use rlchol_core::solver::SolverOptions;
+use rlchol_core::{CholeskySolver, SolveWorkspace};
+use rlchol_matgen::{grid3d, Stencil};
+use rlchol_service::{
+    protocol, Client, ClientOptions, NetStats, Request, ResponsePayload, ServeOptions, Service,
+    ServiceConfig,
+};
+use rlchol_sparse::SymCsc;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn matrix(seed: u64) -> SymCsc {
+    grid3d(5, 4, 3, Stencil::Star7, 1, seed)
+}
+
+fn rhs_for(a: &SymCsc) -> Vec<f64> {
+    let ones = vec![1.0; a.n()];
+    let mut b = vec![0.0; a.n()];
+    a.matvec(&ones, &mut b);
+    b
+}
+
+fn spawn_evented(
+    opts: ServeOptions,
+) -> (
+    SocketAddr,
+    Arc<Service>,
+    Arc<NetStats>,
+    JoinHandle<std::io::Result<()>>,
+) {
+    let stats = Arc::new(NetStats::default());
+    let opts = ServeOptions {
+        stats: Some(Arc::clone(&stats)),
+        ..opts
+    };
+    let service = Arc::new(Service::new(ServiceConfig {
+        queue_depth: 16,
+        ..ServiceConfig::default()
+    }));
+    let (addr, server) = protocol::spawn_server_with("127.0.0.1:0", Arc::clone(&service), opts)
+        .expect("bind localhost");
+    (addr, service, stats, server)
+}
+
+fn client(addr: SocketAddr) -> Client {
+    Client::connect_with(
+        addr,
+        ClientOptions {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(30)),
+        },
+    )
+    .expect("connect")
+}
+
+/// A client that trickles a partial frame and then stalls forever must
+/// be closed by the idle deadline — costing a registry slot for the
+/// timeout, not a worker — while well-behaved clients keep being
+/// served the whole time.
+#[test]
+fn slow_loris_is_timed_out_without_wedging_the_pool() {
+    let (addr, _service, stats, server) = spawn_evented(ServeOptions {
+        workers: 2,
+        conn_timeout_ms: 200,
+        ..ServeOptions::default()
+    });
+
+    // Claim a 64-byte body, deliver 3 bytes, stall.
+    let mut loris = TcpStream::connect(addr).expect("loris connect");
+    loris.write_all(&64u32.to_le_bytes()).unwrap();
+    loris.write_all(&[2, 0xFF, 0]).unwrap();
+    loris.flush().unwrap();
+
+    // While the loris stalls, a healthy client keeps getting answers.
+    let mut good = client(addr);
+    let a = matrix(1);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.timed_out.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "loris never timed out");
+        let resp = good.analyze(&a).expect("healthy client roundtrip");
+        assert!(resp.ok());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(stats.timed_out.load(Ordering::Relaxed) >= 1);
+
+    // The pool is not wedged: fresh connections still work.
+    let mut after = client(addr);
+    assert!(after.factor(&a, None, 0).expect("post-loris factor").ok());
+    after.shutdown().expect("shutdown");
+    server.join().unwrap().unwrap();
+    drop(loris);
+}
+
+/// 64 short-lived connections against a 2-thread worker pool: every
+/// request is served, nothing is dropped, and the pool stays fixed (the
+/// server never spawns per-connection threads).
+#[test]
+fn burst_of_connections_is_served_by_a_small_fixed_pool() {
+    const CONNS: usize = 64;
+    let (addr, _service, stats, server) = spawn_evented(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+
+    let barrier = Arc::new(Barrier::new(CONNS));
+    let clients: Vec<_> = (0..CONNS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut c = client(addr);
+                // Two patterns so the cache sees hits and misses.
+                let a = matrix(1 + (i % 2) as u64);
+                let resp = c.analyze(&a).expect("burst roundtrip");
+                assert!(resp.ok(), "request {i} failed: {}", resp.json);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("burst client panicked");
+    }
+
+    assert!(stats.accepted.load(Ordering::Relaxed) >= CONNS as u64);
+    assert!(stats.frames.load(Ordering::Relaxed) >= CONNS as u64);
+
+    let mut c = client(addr);
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().unwrap();
+}
+
+/// Injected transient accept failures (the `ECONNABORTED`/`EMFILE`
+/// family) are counted and retried with backoff; the pending connection
+/// is accepted once the fault ordinals pass, and the server keeps
+/// running.
+#[test]
+fn transient_accept_errors_are_survived() {
+    let (addr, _service, stats, server) = spawn_evented(ServeOptions {
+        workers: 1,
+        accept_faults: vec![0, 1, 2],
+        ..ServeOptions::default()
+    });
+
+    // The TCP handshake completes in the kernel backlog immediately;
+    // the server's accept(2) of it fails three times first.
+    let mut c = client(addr);
+    let resp = c.analyze(&matrix(7)).expect("roundtrip after faults");
+    assert!(resp.ok());
+
+    assert_eq!(stats.accept_errors.load(Ordering::Relaxed), 3);
+    assert!(stats.accepted.load(Ordering::Relaxed) >= 1);
+
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().unwrap();
+}
+
+/// A request delivered one byte at a time (with pauses) is assembled
+/// incrementally and answered like any other — partial delivery is a
+/// normal TCP condition, not an error.
+#[test]
+fn partial_frame_delivery_is_assembled_incrementally() {
+    let (addr, _service, _stats, server) = spawn_evented(ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    });
+
+    // A stats request: header 1u32, body [OP_STATS].
+    let wire = [1u8, 0, 0, 0, 5];
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    for b in wire {
+        raw.write_all(&[b]).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).expect("response header");
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    raw.read_exact(&mut body).expect("response body");
+    let json = String::from_utf8_lossy(&body);
+    assert!(json.contains("\"ok\":true"), "bad stats response: {json}");
+
+    let mut c = client(addr);
+    c.shutdown().expect("shutdown");
+    server.join().unwrap().unwrap();
+}
+
+/// Solves that arrive inside the coalescing window fan out through one
+/// `batch_factor_ctl` call — and the answers are **bitwise identical**
+/// to the direct staged-API path, so coalescing is invisible to
+/// clients beyond the metrics.
+#[test]
+fn coalesced_solves_are_bitwise_identical_to_the_direct_path() {
+    const MEMBERS: usize = 6;
+    let opts = SolverOptions::default();
+
+    // Direct-path oracle: one handle, factor + solve per value set.
+    let handle = CholeskySolver::analyze(&matrix(100), &opts);
+    let mut ws = SolveWorkspace::new();
+    let oracle: Vec<Vec<f64>> = (0..MEMBERS)
+        .map(|i| {
+            let a = matrix(100 + i as u64);
+            let fact = handle.factor_with(&a).expect("SPD oracle factor");
+            let b = rhs_for(&a);
+            let mut x = vec![0.0; a.n()];
+            handle.solve_into(&fact, &b, &mut x, &mut ws).unwrap();
+            handle.recycle(fact);
+            x
+        })
+        .collect();
+
+    let service = Arc::new(Service::new(ServiceConfig {
+        options: opts,
+        queue_depth: 2 * MEMBERS,
+        batch_window_us: 50_000,
+        ..ServiceConfig::default()
+    }));
+    let barrier = Arc::new(Barrier::new(MEMBERS));
+    let workers: Vec<_> = (0..MEMBERS)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let a = matrix(100 + i as u64);
+                let b = rhs_for(&a);
+                barrier.wait();
+                let resp = service.submit(Request::solve(a, b)).expect("solve");
+                (i, resp)
+            })
+        })
+        .collect();
+
+    let mut max_batch = 0;
+    for w in workers {
+        let (i, resp) = w.join().expect("member panicked");
+        match &resp.payload {
+            ResponsePayload::Solved { x, .. } => {
+                assert_eq!(
+                    x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    oracle[i].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "coalesced solve {i} differs from the direct path"
+                );
+            }
+            other => panic!("expected Solved, got {other:?}"),
+        }
+        assert!(resp.metrics.batch_size >= 1);
+        max_batch = max_batch.max(resp.metrics.batch_size);
+    }
+
+    // Barrier + 50 ms window: at least one fan-out must have coalesced.
+    assert!(
+        max_batch >= 2,
+        "no request coalesced (max batch {max_batch})"
+    );
+    let stats = service.stats();
+    assert!(stats.coalesced_batches >= 1);
+    assert!(stats.coalesced_requests >= 2);
+}

@@ -200,12 +200,29 @@
 //!
 //! Out of process, the same service speaks a framed length-prefixed
 //! protocol over localhost TCP (`rlchol-serve` daemon or `rlchol serve
-//! 127.0.0.1:7211`; [`service::Client`] is the blocking client). Knobs
-//! follow the usual precedence, resolved once at service construction:
-//! explicit [`service::ServiceConfig`] field, else **`RLCHOL_CACHE_BYTES`**
-//! (handle-cache budget, default 256 MiB) / **`RLCHOL_QUEUE_DEPTH`**
-//! (admission limit, default 2 × factor lanes — which themselves
-//! resolve via `RLCHOL_FACTOR_LANES` as above).
+//! 127.0.0.1:7211`; [`service::Client`] is the blocking client, with
+//! optional connect/read timeouts via `service::ClientOptions`). On
+//! Unix the server is **evented**: one readiness-polled event loop
+//! multiplexes every connection over a fixed worker pool, assembling
+//! frames incrementally and shedding stalled clients on a
+//! per-connection deadline (`RLCHOL_NET_LEGACY=1` restores the
+//! thread-per-connection loop). Knobs follow the usual precedence,
+//! resolved once at service/server construction: explicit
+//! [`service::ServiceConfig`] (or `service::ServeOptions`) field, else
+//! env, else default —
+//!
+//! * **`RLCHOL_CACHE_BYTES`** — handle-cache budget, default 256 MiB;
+//! * **`RLCHOL_QUEUE_DEPTH`** — admission limit, default 2 × factor
+//!   lanes (which themselves resolve via `RLCHOL_FACTOR_LANES` as
+//!   above);
+//! * **`RLCHOL_NET_WORKERS`** — evented worker-pool width, default 4;
+//! * **`RLCHOL_CONN_TIMEOUT_MS`** — per-connection idle/read deadline,
+//!   default 30 000 ms;
+//! * **`RLCHOL_BATCH_WINDOW_US`** — cross-request coalescing window:
+//!   factor/solve requests on the same pattern fingerprint arriving
+//!   within the window fan out through one `batch_factor_ctl` call
+//!   (bitwise-identical results, per-request `batch_size` /
+//!   `coalesce_wait` metrics); default 0 = off.
 //!
 //! ## Engines
 //!
